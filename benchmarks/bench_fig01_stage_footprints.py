@@ -1,0 +1,25 @@
+"""Figure 1: per-stage instruction footprints of the TiDB-like workload.
+
+Paper: TiDB under TPC-C progresses through Read / Dispatch / Compile /
+Exec / Finish with per-stage footprints of 40-280 KB.  Our scaled
+workload reproduces the shape: every stage has a footprint far beyond
+the 32 KB L1-I, with Exec the largest.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.figures import fig01_stage_footprints
+
+
+def test_fig01_stage_footprints(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig01_stage_footprints("tidb_tpcc", scale=scale),
+        rounds=1, iterations=1,
+    )
+    order = ["read", "dispatch", "compile", "exec", "finish"]
+    rows = [[stage, f"{result[stage]:.1f}"] for stage in order]
+    emit(
+        "Figure 1 — tidb_tpcc average stage footprints (KB)",
+        format_table(["stage", "footprint_kb"], rows),
+    )
+    assert all(result[stage] > 8.0 for stage in order)
+    assert result["exec"] == max(result.values())

@@ -1,0 +1,34 @@
+"""Figure 3: accuracy and coverage as a function of prefetch distance.
+
+Paper: across the SOTA fine-grained prefetchers, accuracy is inversely
+correlated with average prefetch distance while coverage grows with it
+— the dilemma Hierarchical Prefetching breaks.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.figures import fig03_distance_tradeoff
+from repro.experiments.runner import REPRESENTATIVE_WORKLOADS
+
+
+def test_fig03_distance_tradeoff(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig03_distance_tradeoff(
+            workloads=REPRESENTATIVE_WORKLOADS, scale=scale
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [name, f"{dist:.1f}", f"{acc:.1%}", f"{cov:.1%}"]
+        for name, (dist, acc, cov) in sorted(
+            result.items(), key=lambda kv: kv[1][0]
+        )
+    ]
+    emit(
+        "Figure 3 — accuracy/coverage vs. avg prefetch distance",
+        format_table(["prefetcher", "distance", "accuracy", "coverage"],
+                     rows),
+    )
+    # EFetch has the shortest distance; its accuracy tops the group.
+    efetch = result["efetch"]
+    assert efetch[0] == min(v[0] for v in result.values())
+    assert efetch[1] == max(v[1] for v in result.values())

@@ -1,0 +1,45 @@
+"""Figure 13: Metadata Address Table and Metadata Buffer sensitivity.
+
+Paper: HP's speedup saturates at 512 MAT entries and a 512 KB Metadata
+Buffer — larger configurations add nothing, justifying the 1.94 KB
+on-chip budget.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.figures import fig13_metadata_sensitivity
+
+WORKLOADS = ("beego", "tidb_tpcc")
+MAT_SIZES = (32, 128, 512, 1024)
+BUFFER_KB = (32, 128, 512, 1024)
+
+
+def test_fig13_metadata_sensitivity(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig13_metadata_sensitivity(
+            mat_sizes=MAT_SIZES, buffer_kb=BUFFER_KB,
+            workloads=WORKLOADS, scale=scale,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Figure 13a — Metadata Address Table size vs. HP speedup",
+        format_table(
+            ["entries", "speedup"],
+            [[n, f"{s:+.1%}"] for n, s in result["mat"]],
+        ),
+    )
+    emit(
+        "Figure 13b — Metadata Buffer size vs. HP speedup",
+        format_table(
+            ["KB", "speedup"],
+            [[kb, f"{s:+.1%}"] for kb, s in result["buffer"]],
+        ),
+    )
+    mat = dict(result["mat"])
+    buf = dict(result["buffer"])
+    # The paper-default configuration captures ~all of the benefit.
+    assert mat[512] >= max(mat.values()) - 0.02
+    assert buf[512] >= max(buf.values()) - 0.02
+    # Starved configurations lose performance.
+    assert mat[32] <= mat[512] + 1e-9
+    assert buf[32] <= buf[512] + 1e-9

@@ -1,0 +1,51 @@
+"""Figure 15: FTQ size and I-TLB size sensitivity.
+
+Paper: FDIP performs best around a 24-entry FTQ (deeper is mildly
+counter-productive); more I-TLB entries help both configurations, with
+HP keeping a consistent gain across all I-TLB sizes.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.figures import fig15_ftq, fig15_itlb
+
+WORKLOADS = ("beego", "tidb_tpcc")
+FTQ_SIZES = (8, 16, 24, 48)
+ITLB_SIZES = (32, 64, 128, 256)
+
+
+def test_fig15a_ftq(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig15_ftq(sizes=FTQ_SIZES, workloads=WORKLOADS,
+                          scale=scale),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Figure 15a — FDIP IPC vs. FTQ size (normalized to 24 entries)",
+        format_table(
+            ["ftq_entries", "relative_ipc"],
+            [[n, f"{v:.4f}"] for n, v in result],
+        ),
+    )
+    values = dict(result)
+    # A too-shallow FTQ hurts; 24 entries is within noise of the best.
+    assert values[8] <= values[24]
+    assert values[24] >= max(values.values()) - 0.02
+
+
+def test_fig15b_itlb(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig15_itlb(sizes=ITLB_SIZES, workloads=WORKLOADS,
+                           scale=scale),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Figure 15b — IPC vs. I-TLB entries",
+        format_table(
+            ["itlb_entries", "fdip_ipc", "hp_ipc"],
+            [[n, f"{b:.3f}", f"{h:.3f}"] for n, b, h in result],
+        ),
+    )
+    # More I-TLB entries never hurt, and HP gains at every size.
+    base_ipcs = [b for _, b, _ in result]
+    assert base_ipcs == sorted(base_ipcs)
+    assert all(h > b for _, b, h in result)

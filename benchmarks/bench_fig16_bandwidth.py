@@ -1,0 +1,38 @@
+"""Figure 16: memory bandwidth overhead of Hierarchical Prefetching.
+
+Paper: HP adds only ~4% memory traffic on average (10% worst case),
+with ~60% of the extra traffic being metadata reads/writes and the rest
+over-predicted prefetches.  Measured here on memory-side traffic
+(uncore fills + metadata): the data side is not modelled, so DRAM-only
+traffic would be degenerate (see EXPERIMENTS.md).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.figures import fig16_bandwidth
+from repro.workloads.suite import WORKLOAD_NAMES
+
+
+def test_fig16_bandwidth(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig16_bandwidth(workloads=WORKLOAD_NAMES, scale=scale),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [w, f"{result[w]['overhead']:+.1%}",
+         f"{result[w]['metadata_fraction']:.0%}"]
+        for w in WORKLOAD_NAMES
+    ]
+    mean = sum(r["overhead"] for r in result.values()) / len(result)
+    rows.append(["MEAN", f"{mean:+.1%}", ""])
+    emit(
+        "Figure 16 — HP memory-traffic overhead vs. FDIP baseline",
+        format_table(["workload", "overhead", "metadata_share"], rows),
+    )
+    # The paper reports +4% mean overhead with ~60% of the extra
+    # traffic being metadata.  Our scaled traces amortize metadata over
+    # ~100x fewer instructions and carry no data-side traffic in the
+    # denominator, so the relative overhead is much larger; the
+    # metadata share is the claim we can check faithfully.
+    assert mean > 0.0
+    shares = [r["metadata_fraction"] for r in result.values()]
+    assert sum(shares) / len(shares) > 0.5  # metadata dominates the extra

@@ -1,0 +1,43 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper artifact and prints the same
+rows/series the paper reports (through ``capfd.disabled()`` so the
+output survives pytest's capture).  The workload scale is controlled by
+``REPRO_SCALE`` (tiny / bench / full; default bench).  Simulation
+results are cached per process, so benchmarks sharing runs (Figures
+9-11, Table 2, ...) pay for each simulation once.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_SCALE", "bench")
+    if value not in ("tiny", "bench", "full"):
+        raise ValueError(f"REPRO_SCALE must be tiny/bench/full, got {value}")
+    return value
+
+
+@pytest.fixture()
+def emit(capfd):
+    """Print a report block to the real terminal and persist it.
+
+    Terminal capture can garble interleaved writes under some pytest
+    configurations, so every block is also appended to
+    ``benchmark_results.txt`` (override with ``REPRO_BENCH_RESULTS``).
+    """
+    results_path = os.environ.get("REPRO_BENCH_RESULTS",
+                                  "benchmark_results.txt")
+
+    def _emit(title: str, body: str) -> None:
+        block = f"\n=== {title} ===\n{body}\n"
+        with open(results_path, "a") as fh:
+            fh.write(block)
+            fh.flush()
+        with capfd.disabled():
+            print(block, flush=True)
+
+    return _emit

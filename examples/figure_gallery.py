@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Render key paper figures as ASCII charts.
+
+A lightweight visual companion to the benchmark suite: regenerates
+Figure 9 (speedups), Figure 10 (late prefetches) and Figure 2a (MANA
+look-ahead) on a subset of workloads and draws them with
+:mod:`repro.analysis.charts`.
+
+Run:
+    python examples/figure_gallery.py [scale]
+"""
+
+import sys
+
+from repro.analysis.charts import bar_chart, line_series
+from repro.experiments.figures import (
+    fig02_mana_lookahead,
+    fig09_speedups,
+    fig10_late_prefetches,
+)
+
+WORKLOADS = ("beego", "caddy", "tidb_tpcc")
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+
+    print(f"regenerating figures at scale {scale!r} "
+          f"on {', '.join(WORKLOADS)} ...\n")
+
+    speedups = fig09_speedups(workloads=WORKLOADS, scale=scale)
+    for workload in WORKLOADS:
+        row = speedups[workload]
+        labels = ["efetch", "mana", "eip", "hierarchical", "perfect_l1i"]
+        print(bar_chart(
+            labels, [row[k] for k in labels],
+            title=f"Figure 9 — {workload}: IPC speedup over FDIP",
+        ))
+        print()
+
+    late = fig10_late_prefetches(workloads=WORKLOADS, scale=scale)
+    labels = ["efetch", "mana", "eip", "hierarchical"]
+    means = [
+        sum(late[w][p] for w in WORKLOADS) / len(WORKLOADS)
+        for p in labels
+    ]
+    print(bar_chart(labels, means, fmt="{:.1%}",
+                    title="Figure 10 — late prefetches (mean)"))
+    print()
+
+    mana = fig02_mana_lookahead(lookaheads=(1, 2, 3, 6),
+                                workloads=WORKLOADS, scale=scale)
+    print(line_series(
+        [(la, acc) for la, acc, _ in mana],
+        title="Figure 2a — MANA accuracy vs. look-ahead",
+        y_fmt="{:.0%}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: Hierarchical Prefetching vs. the FDIP baseline.
+
+Builds one of the paper's workloads (TiDB under TPC-C), simulates it on
+the Table-1 machine with plain FDIP and with the Hierarchical
+Prefetcher, and prints the headline metrics: IPC speedup, L1-I MPKI,
+prefetch accuracy/coverage/timeliness, and Bundle activity.
+
+Run:
+    python examples/quickstart.py [workload] [scale]
+"""
+
+import sys
+
+from repro import get_trace, make_prefetcher, simulate
+from repro.analysis.metrics import compare_run
+from repro.memory.cache import ORIGIN_PF
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "tidb_tpcc"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "bench"
+
+    print(f"Building workload {workload!r} at scale {scale!r} ...")
+    trace = get_trace(workload, scale=scale)
+    print(f"  {trace}")
+
+    print("Simulating FDIP baseline ...")
+    baseline = simulate(trace)
+    print(f"  IPC {baseline.ipc:.3f}, L1-I MPKI {baseline.l1i_mpki:.1f}, "
+          f"L2 MPKI {baseline.l2_mpki:.1f}")
+
+    print("Simulating FDIP + Hierarchical Prefetching ...")
+    hp_stats = simulate(trace, prefetcher=make_prefetcher("hierarchical"))
+    report = compare_run("hierarchical", hp_stats, baseline)
+
+    print()
+    print(f"  speedup over FDIP : {report.speedup:+.1%}")
+    print(f"  L1-I MPKI         : {baseline.l1i_mpki:.1f} -> "
+          f"{hp_stats.l1i_mpki:.1f}")
+    print(f"  prefetch accuracy : {report.accuracy:.0%}")
+    print(f"  L1 miss coverage  : {report.coverage_l1:.0%}")
+    print(f"  L2 miss coverage  : {report.coverage_l2:.0%}")
+    print(f"  late prefetches   : {report.late_fraction:.1%}")
+    print(f"  avg distance      : {report.avg_distance:.0f} cache blocks")
+    print(f"  prefetches issued : {hp_stats.pf_issued[ORIGIN_PF]}")
+    print(f"  bundles triggered : "
+          f"{hp_stats.extra.get('hp_bundles_triggered', 0):.0f} "
+          f"(MAT hit rate "
+          f"{hp_stats.extra.get('hp_mat_hit_rate', 0.0):.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — reproduction of *Hierarchical Prefetching: A Software-Hardware
+Instruction Prefetcher for Server Applications* (ASPLOS 2025).
+
+Quickstart::
+
+    from repro import get_trace, simulate, make_prefetcher
+
+    trace = get_trace("tidb_tpcc", scale="bench")
+    base = simulate(trace)                                   # FDIP baseline
+    hp = simulate(trace, prefetcher=make_prefetcher("hierarchical"))
+    print(f"speedup over FDIP: {hp.ipc / base.ipc - 1:+.1%}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.cpu import FrontEndSimulator, MachineConfig, SimStats, simulate
+from repro.core import HierarchicalPrefetcher, HPConfig, identify_bundles
+from repro.prefetchers import make_prefetcher, PREFETCHER_NAMES
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    build_application,
+    get_application,
+    get_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FrontEndSimulator",
+    "MachineConfig",
+    "SimStats",
+    "simulate",
+    "HierarchicalPrefetcher",
+    "HPConfig",
+    "identify_bundles",
+    "make_prefetcher",
+    "PREFETCHER_NAMES",
+    "WORKLOAD_NAMES",
+    "build_application",
+    "get_application",
+    "get_trace",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analysis utilities: prefetch metrics, footprint similarity, reuse
+distances, long-range-miss identification, and report formatting.
+
+These implement the measurement methodology of the paper's evaluation:
+accuracy/coverage computed *on top of FDIP* (§3.2), Jaccard footprint
+similarity (Fig. 4, Table 4), LRU stack (reuse) distances and the
+top-decile *long-range miss* population (Fig. 12).
+"""
+
+from repro.analysis.metrics import PrefetchReport, compare_run, speedup
+from repro.analysis.jaccard import (
+    jaccard,
+    trigger_footprint_similarity,
+    bundle_similarity,
+)
+from repro.analysis.reuse import StackDistanceTracker, block_reuse_distances
+from repro.analysis.longrange import long_range_blocks
+from repro.analysis.footprints import stage_footprints
+from repro.analysis.mrc import miss_ratio_curve, working_set_blocks
+from repro.analysis.reporting import format_table, format_percent
+
+__all__ = [
+    "PrefetchReport",
+    "compare_run",
+    "speedup",
+    "jaccard",
+    "trigger_footprint_similarity",
+    "bundle_similarity",
+    "StackDistanceTracker",
+    "block_reuse_distances",
+    "long_range_blocks",
+    "stage_footprints",
+    "miss_ratio_curve",
+    "working_set_blocks",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,78 @@
+"""ASCII charts for benchmark output.
+
+The benchmarks print each paper artifact as a table; for the figures a
+quick visual check helps, so these helpers render horizontal bar charts
+and simple line series in plain text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    fmt: str = "{:+.1%}",
+    title: Optional[str] = None,
+) -> str:
+    """Render one horizontal bar per (label, value).
+
+    Negative values draw to the left of the axis.  The scale is set by
+    the largest absolute value.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    peak = max(abs(v) for v in values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [] if title is None else [title]
+    for label, value in zip(labels, values):
+        n = int(round(abs(value) / peak * width))
+        bar = ("▇" * n) if n else "·"
+        sign = "-" if value < 0 else " "
+        lines.append(
+            f"{str(label).rjust(label_w)} |{sign}{bar} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_series(
+    points: Sequence[Tuple[float, float]],
+    height: int = 8,
+    width: int = 48,
+    x_fmt: str = "{:g}",
+    y_fmt: str = "{:.2f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render an (x, y) series as a coarse ASCII scatter/line plot."""
+    if not points:
+        return title or ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "●"
+    lines = [] if title is None else [title]
+    y_labels = [y_fmt.format(y_hi), y_fmt.format(y_lo)]
+    pad = max(len(s) for s in y_labels)
+    for r, row in enumerate(grid):
+        label = y_labels[0] if r == 0 else (
+            y_labels[1] if r == height - 1 else ""
+        )
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(f"{' ' * pad} +{'-' * width}")
+    lines.append(
+        f"{' ' * pad}  {x_fmt.format(x_lo)}"
+        f"{' ' * max(1, width - len(x_fmt.format(x_lo)) - len(x_fmt.format(x_hi)))}"
+        f"{x_fmt.format(x_hi)}"
+    )
+    return "\n".join(lines)

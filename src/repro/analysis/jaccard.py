@@ -1,0 +1,186 @@
+"""Jaccard footprint-similarity studies (Figure 4, Table 4).
+
+The paper measures how similar the instruction footprint following a
+*trigger* is across the trigger's consecutive occurrences — for the
+trigger models of EFetch (call-stack signature), MANA (spatial-region
+base) and EIP (cache-block address) — and separately the footprint
+stability of Bundles across consecutive executions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.isa.instructions import BranchKind
+
+_CALL = int(BranchKind.CALL)
+_ICALL = int(BranchKind.ICALL)
+_RET = int(BranchKind.RET)
+_TRIGGER_KINDS = frozenset((_CALL, _ICALL, _RET))
+
+
+def jaccard(a: Set, b: Set) -> float:
+    """Jaccard index |a ∩ b| / |a ∪ b| (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 1.0
+
+
+def _footprint_after(trace, start: int, n_blocks: int) -> Set[int]:
+    """The set of the next ``n_blocks`` *distinct* cache blocks fetched
+    starting at trace index ``start``."""
+    seen: Set[int] = set()
+    pc = trace.pc
+    nin = trace.ninstr
+    n = len(trace)
+    i = start
+    while i < n and len(seen) < n_blocks:
+        b0 = pc[i] >> 6
+        b1 = (pc[i] + nin[i] * 4 - 1) >> 6
+        seen.add(b0)
+        if b1 != b0:
+            seen.add(b1)
+        i += 1
+    return seen
+
+
+def _efetch_triggers(trace) -> Iterable:
+    """(signature, index) pairs: hash of the top-3 shadow call stack."""
+    stack: List[int] = []
+    pc = trace.pc
+    nin = trace.ninstr
+    kind = trace.kind
+    for i in range(len(trace)):
+        k = kind[i]
+        if k == _CALL or k == _ICALL:
+            stack.append(pc[i] + (nin[i] - 1) * 4 + 4)
+            if len(stack) > 64:
+                del stack[0]
+            yield hash(tuple(stack[-3:])), i
+        elif k == _RET and stack:
+            stack.pop()
+
+
+def _mana_triggers(trace) -> Iterable:
+    """(region base, index) pairs at each spatial-region transition."""
+    last = -1
+    pc = trace.pc
+    for i in range(len(trace)):
+        base = (pc[i] >> 6) & ~3
+        if base != last:
+            last = base
+            yield base, i
+
+
+def _eip_triggers(trace) -> Iterable:
+    """(cache block, index) pairs at each block transition."""
+    last = -1
+    pc = trace.pc
+    for i in range(len(trace)):
+        block = pc[i] >> 6
+        if block != last:
+            last = block
+            yield block, i
+
+
+TRIGGER_MODELS: Dict[str, Callable] = {
+    "efetch": _efetch_triggers,
+    "mana": _mana_triggers,
+    "eip": _eip_triggers,
+}
+
+
+def trigger_footprint_similarity(
+    trace,
+    model: str,
+    footprint_blocks: int,
+    max_triggers: int = 4000,
+    max_pairs_per_trigger: int = 4,
+) -> float:
+    """Average Jaccard similarity of footprints following adjacent
+    occurrences of the same trigger (Figure 4).
+
+    ``model`` selects the trigger definition (``efetch``/``mana``/
+    ``eip``); ``footprint_blocks`` is the footprint size in cache
+    blocks.  Sampling caps keep the analysis tractable on long traces.
+    """
+    try:
+        trigger_fn = TRIGGER_MODELS[model]
+    except KeyError:
+        raise KeyError(
+            f"unknown trigger model {model!r}; expected one of "
+            f"{tuple(TRIGGER_MODELS)}"
+        ) from None
+    occurrences: Dict[object, List[int]] = defaultdict(list)
+    for key, i in trigger_fn(trace):
+        bucket = occurrences[key]
+        if len(bucket) <= max_pairs_per_trigger:
+            bucket.append(i)
+        if len(occurrences) >= max_triggers and key not in occurrences:
+            break
+    total = 0.0
+    count = 0
+    for indices in occurrences.values():
+        if len(indices) < 2:
+            continue
+        prev_fp: Optional[Set[int]] = None
+        for idx in indices:
+            fp = _footprint_after(trace, idx, footprint_blocks)
+            if prev_fp is not None:
+                total += jaccard(prev_fp, fp)
+                count += 1
+            prev_fp = fp
+    return total / count if count else 0.0
+
+
+def bundle_similarity(trace) -> Dict[str, float]:
+    """Per-Bundle consecutive-execution Jaccard statistics (Table 4).
+
+    Bundles are delimited by tagged call/return terminators, exactly as
+    the hardware sees them; the Bundle ID is the tag target address.
+    Returns mean Jaccard, mean footprint (KB) and the number of distinct
+    Bundles executed.
+    """
+    kind = trace.kind
+    tagged = trace.tagged
+    target = trace.target
+    pc = trace.pc
+    nin = trace.ninstr
+    last_fp: Dict[int, Set[int]] = {}
+    sums: Dict[int, float] = defaultdict(float)
+    counts: Dict[int, int] = defaultdict(int)
+    fp_blocks_total = 0
+    fp_count = 0
+    current_id: Optional[int] = None
+    current_fp: Set[int] = set()
+    for i in range(len(trace)):
+        b0 = pc[i] >> 6
+        b1 = (pc[i] + nin[i] * 4 - 1) >> 6
+        if current_id is not None:
+            current_fp.add(b0)
+            if b1 != b0:
+                current_fp.add(b1)
+        if tagged[i] and kind[i] in _TRIGGER_KINDS:
+            if current_id is not None:
+                prev = last_fp.get(current_id)
+                if prev is not None:
+                    sums[current_id] += jaccard(prev, current_fp)
+                    counts[current_id] += 1
+                last_fp[current_id] = current_fp
+                fp_blocks_total += len(current_fp)
+                fp_count += 1
+            current_id = target[i]
+            current_fp = set()
+    per_bundle = [
+        sums[b] / counts[b] for b in counts if counts[b] > 0
+    ]
+    return {
+        "avg_jaccard": sum(per_bundle) / len(per_bundle) if per_bundle else 0.0,
+        "avg_footprint_kb": (
+            fp_blocks_total / fp_count * 64 / 1024 if fp_count else 0.0
+        ),
+        "distinct_bundles": len(last_fp),
+        "executions": fp_count,
+    }

@@ -1,0 +1,47 @@
+"""Long-range-miss identification (Figure 12).
+
+The paper studies the L2 misses caused by the 10% of instruction
+accesses with the longest reuse distances.  We identify the *blocks*
+whose mean reuse distance falls in the top decile of the access-weighted
+distribution, then compare each prefetcher's L2 miss counts on exactly
+that block population (the simulator's ``l2_miss_map``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.reuse import block_reuse_distances
+
+
+def long_range_blocks(trace, fraction: float = 0.10,
+                      start: int = 0, end: int = -1) -> Set[int]:
+    """Blocks receiving the top ``fraction`` of longest-reuse accesses."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    distances = block_reuse_distances(trace, start, end)
+    # Access-weighted: rank individual accesses, take the top decile,
+    # then collect the blocks those accesses touch.
+    flat = []
+    for block, ds in distances.items():
+        for d in ds:
+            flat.append((d, block))
+    if not flat:
+        return set()
+    flat.sort(reverse=True)
+    cutoff = max(1, int(len(flat) * fraction))
+    return {block for _, block in flat[:cutoff]}
+
+
+def long_range_miss_elimination(
+    baseline_map: Dict[int, int],
+    prefetcher_map: Dict[int, int],
+    blocks: Set[int],
+) -> float:
+    """Fraction of baseline L2 misses on ``blocks`` that the prefetcher
+    eliminated (Figure 12's per-workload bar)."""
+    base = sum(n for b, n in baseline_map.items() if b in blocks)
+    if not base:
+        return 0.0
+    with_pf = sum(n for b, n in prefetcher_map.items() if b in blocks)
+    return max(0.0, 1.0 - with_pf / base)

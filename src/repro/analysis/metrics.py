@@ -1,0 +1,90 @@
+"""Prefetch accuracy / coverage / timeliness metrics.
+
+All metrics follow the paper's definitions (§3.2, §7.4) and are computed
+*on top of the FDIP baseline*: coverage counts the baseline's demand
+misses that the evaluated prefetcher eliminated; accuracy is the
+fraction of its prefetches that served a demand fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.stats import SimStats
+from repro.memory.cache import ORIGIN_PF
+
+
+def speedup(stats: SimStats, baseline: SimStats) -> float:
+    """Relative IPC gain of ``stats`` over ``baseline`` (0.066 = +6.6%)."""
+    if baseline.ipc == 0:
+        raise ValueError("baseline has zero IPC")
+    return stats.ipc / baseline.ipc - 1.0
+
+
+@dataclass
+class PrefetchReport:
+    """Per-run summary in the paper's vocabulary (Tables 2 and 3)."""
+
+    name: str
+    speedup: float
+    accuracy: float
+    coverage_l1: float
+    coverage_l2: float
+    late_fraction: float
+    avg_distance: float
+    ipc: float
+    l1i_mpki: float
+    issued: int
+
+    def row(self) -> list:
+        return [
+            self.name,
+            f"{self.avg_distance:.1f}",
+            f"{self.accuracy:.0%}",
+            f"{self.coverage_l1:.0%}",
+            f"{self.coverage_l2:.0%}",
+            f"{self.late_fraction:.0%}",
+            f"{self.speedup:+.1%}",
+        ]
+
+
+def compare_run(
+    name: str, stats: SimStats, baseline: SimStats, origin: int = ORIGIN_PF
+) -> PrefetchReport:
+    """Summarize a prefetcher run against its FDIP baseline.
+
+    Coverage is the *miss-delta* form used in §7.4: the fraction of the
+    baseline's demand misses no longer present with the prefetcher
+    (negative values mean net pollution).
+    """
+    cov_l1 = (
+        (baseline.l1i_misses - stats.l1i_misses) / baseline.l1i_misses
+        if baseline.l1i_misses
+        else 0.0
+    )
+    cov_l2 = (
+        (baseline.l2_demand_misses - stats.l2_demand_misses)
+        / baseline.l2_demand_misses
+        if baseline.l2_demand_misses
+        else 0.0
+    )
+    return PrefetchReport(
+        name=name,
+        speedup=speedup(stats, baseline),
+        accuracy=stats.accuracy(origin),
+        coverage_l1=cov_l1,
+        coverage_l2=cov_l2,
+        late_fraction=stats.late_fraction(origin),
+        avg_distance=stats.avg_distance(origin),
+        ipc=stats.ipc,
+        l1i_mpki=stats.l1i_mpki,
+        issued=stats.pf_issued[origin],
+    )
+
+
+def latency_reduction(stats: SimStats, baseline: SimStats) -> float:
+    """Fraction of baseline demand-miss latency eliminated (Fig. 11)."""
+    base = baseline.total_exposed_latency()
+    if not base:
+        return 0.0
+    return 1.0 - stats.total_exposed_latency() / base

@@ -1,0 +1,99 @@
+"""Miss-ratio curves from LRU stack distances.
+
+A single pass over the block-access stream yields the stack-distance
+histogram, from which the L1-I miss ratio at *every* capacity follows
+(Mattson's classic inclusion property for LRU).  Used to characterize
+workload working sets and to sanity-check the Table-3 cache-size
+sensitivity without re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reuse import StackDistanceTracker
+
+
+def stack_distance_histogram(trace, start: int = 0,
+                             end: int = -1) -> Tuple[List[int], int]:
+    """Histogram of stack distances over the block-access stream.
+
+    Returns ``(histogram, cold_accesses)`` where ``histogram[d]`` counts
+    accesses with stack distance exactly ``d`` and cold (first-touch)
+    accesses are tallied separately.
+    """
+    if end < 0:
+        end = len(trace)
+    pc = trace.pc
+    nin = trace.ninstr
+    tracker = StackDistanceTracker((end - start) * 2)
+    histogram: Dict[int, int] = {}
+    cold = 0
+    last_block = -1
+    for i in range(start, end):
+        b0 = pc[i] >> 6
+        b1 = (pc[i] + nin[i] * 4 - 1) >> 6
+        for b in (b0, b1) if b1 != b0 else (b0,):
+            if b == last_block:
+                continue
+            last_block = b
+            d = tracker.access(b)
+            if d < 0:
+                cold += 1
+            else:
+                histogram[d] = histogram.get(d, 0) + 1
+    if not histogram:
+        return [], cold
+    out = [0] * (max(histogram) + 1)
+    for d, n in histogram.items():
+        out[d] = n
+    return out, cold
+
+
+def miss_ratio_curve(
+    trace,
+    capacities_blocks: Sequence[int],
+    start: int = 0,
+    end: int = -1,
+) -> List[Tuple[int, float]]:
+    """Fully-associative LRU miss ratio at each capacity (in blocks).
+
+    By LRU inclusion, an access with stack distance ``d`` hits in any
+    cache of at least ``d + 1`` blocks; cold accesses always miss.
+    """
+    histogram, cold = stack_distance_histogram(trace, start, end)
+    total = sum(histogram) + cold
+    if total == 0:
+        return [(c, 0.0) for c in capacities_blocks]
+    # Suffix sums: misses at capacity c = cold + accesses with d >= c.
+    suffix = [0] * (len(histogram) + 1)
+    for d in range(len(histogram) - 1, -1, -1):
+        suffix[d] = suffix[d + 1] + histogram[d]
+    out = []
+    for capacity in sorted(capacities_blocks):
+        if capacity <= 0:
+            raise ValueError("capacities must be positive")
+        misses = cold + (
+            suffix[capacity] if capacity < len(suffix) else 0
+        )
+        out.append((capacity, misses / total))
+    return out
+
+
+def working_set_blocks(trace, hit_target: float = 0.95,
+                       start: int = 0, end: int = -1) -> int:
+    """Smallest LRU capacity (blocks) reaching ``hit_target`` hit ratio
+    on warm accesses (cold misses excluded)."""
+    if not 0.0 < hit_target < 1.0:
+        raise ValueError("hit_target must be in (0, 1)")
+    histogram, _cold = stack_distance_histogram(trace, start, end)
+    warm_total = sum(histogram)
+    if warm_total == 0:
+        return 1
+    needed = hit_target * warm_total
+    acc = 0
+    for d, n in enumerate(histogram):
+        acc += n
+        if acc >= needed:
+            return d + 1
+    return len(histogram)

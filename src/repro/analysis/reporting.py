@@ -1,0 +1,53 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows and series the paper's tables and figures
+report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_percent(x: float, signed: bool = False) -> str:
+    """0.066 -> '6.6%' (or '+6.6%' when signed)."""
+    return f"{x:+.1%}" if signed else f"{x:.1%}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float],
+                  y_fmt: str = "{:.3f}") -> str:
+    """Render one figure series as 'name: x=y, x=y, ...'."""
+    pairs = ", ".join(
+        f"{x}={y_fmt.format(y)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive ratios (e.g. 1.0 + speedup)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

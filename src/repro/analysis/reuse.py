@@ -1,0 +1,93 @@
+"""LRU stack (reuse) distances over the cache-block fetch stream.
+
+The paper defines *long-range misses* via reuse distance: "the number of
+unique interleaved cache lines" between consecutive accesses to the same
+line (§7.3).  The exact LRU stack distance is computed with the classic
+Bennett–Kruskal algorithm: a Fenwick tree counts, for each access, how
+many *distinct* blocks were touched since the previous access to the
+same block — O(log n) per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class _Fenwick:
+    """Binary indexed tree over access timestamps."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        i += 1
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return total
+
+
+class StackDistanceTracker:
+    """Streaming LRU stack-distance computation.
+
+    Feed block accesses in order with :meth:`access`; each call returns
+    the number of distinct blocks touched since the previous access to
+    the same block (-1 for a first access).
+    """
+
+    def __init__(self, n_accesses_hint: int):
+        self._fenwick = _Fenwick(max(1, n_accesses_hint))
+        self._last_pos: Dict[int, int] = {}
+        self._time = 0
+
+    def access(self, block: int) -> int:
+        t = self._time
+        if t >= self._fenwick.n:
+            raise RuntimeError(
+                "more accesses than hinted; enlarge n_accesses_hint"
+            )
+        fen = self._fenwick
+        prev = self._last_pos.get(block)
+        if prev is None:
+            distance = -1
+        else:
+            # Distinct blocks since prev = marked entries in (prev, t).
+            distance = fen.prefix(t - 1) - fen.prefix(prev)
+            fen.add(prev, -1)
+        fen.add(t, 1)
+        self._last_pos[block] = t
+        self._time = t + 1
+        return distance
+
+
+def block_reuse_distances(trace, start: int = 0, end: int = -1) -> Dict[int, List[int]]:
+    """Reuse distances of every cache-block access in trace [start, end).
+
+    Returns block -> list of reuse distances (first accesses excluded).
+    """
+    if end < 0:
+        end = len(trace)
+    pc = trace.pc
+    nin = trace.ninstr
+    tracker = StackDistanceTracker((end - start) * 2)
+    out: Dict[int, List[int]] = {}
+    last_block = -1
+    for i in range(start, end):
+        b0 = pc[i] >> 6
+        b1 = (pc[i] + nin[i] * 4 - 1) >> 6
+        for b in (b0, b1) if b1 != b0 else (b0,):
+            if b == last_block:
+                continue
+            last_block = b
+            d = tracker.access(b)
+            if d >= 0:
+                out.setdefault(b, []).append(d)
+    return out

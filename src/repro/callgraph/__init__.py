@@ -1,0 +1,17 @@
+"""Static call-graph construction and reachable-size analysis.
+
+These are the two analyses the paper's software algorithm (Algorithm 1)
+runs at link time: build the static call graph of the binary, then
+compute, for every function, the *reachable size* — the total unique code
+size of the function and everything transitively callable from it.
+"""
+
+from repro.callgraph.graph import CallGraph, build_call_graph
+from repro.callgraph.reachable import reachable_sizes, reachable_sets
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "reachable_sizes",
+    "reachable_sets",
+]

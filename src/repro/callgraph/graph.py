@@ -1,0 +1,86 @@
+"""Static call-graph data structure and builder.
+
+The builder is duck-typed over the binary: it only requires an iterable
+of objects exposing ``name``, ``size`` and ``static_callees()``, so it
+works on :class:`repro.isa.binary.Binary` without importing it (keeping
+this package dependency-free).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+class CallGraph:
+    """Directed graph of functions with per-node code sizes.
+
+    Nodes are function names.  Edges point caller -> callee.  The graph
+    is a *static* over-approximation: indirect call sites contribute an
+    edge to every candidate target.
+    """
+
+    def __init__(self) -> None:
+        self.sizes: Dict[str, int] = {}
+        self._callees: Dict[str, Set[str]] = {}
+        self._callers: Dict[str, Set[str]] = {}
+
+    def add_node(self, name: str, size: int) -> None:
+        """Add function ``name`` with code size ``size`` bytes."""
+        if size < 0:
+            raise ValueError(f"negative size for {name!r}")
+        self.sizes[name] = size
+        self._callees.setdefault(name, set())
+        self._callers.setdefault(name, set())
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        """Add a caller -> callee edge; both nodes must already exist."""
+        if caller not in self.sizes:
+            raise KeyError(f"unknown caller {caller!r}")
+        if callee not in self.sizes:
+            raise KeyError(f"unknown callee {callee!r}")
+        self._callees[caller].add(callee)
+        self._callers[callee].add(caller)
+
+    def callees(self, name: str) -> Set[str]:
+        """Functions directly called by ``name``."""
+        return self._callees[name]
+
+    def callers(self, name: str) -> Set[str]:
+        """Functions that directly call ``name`` (its *fathers*)."""
+        return self._callers[name]
+
+    def roots(self) -> List[str]:
+        """Functions with no callers (entry points of the graph)."""
+        return [n for n, cs in self._callers.items() if not cs]
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self.sizes)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.sizes
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._callees.values())
+
+    def __repr__(self) -> str:
+        return f"CallGraph(nodes={len(self)}, edges={self.edge_count()})"
+
+
+def build_call_graph(binary: Iterable) -> CallGraph:
+    """Construct the static call graph of ``binary``.
+
+    ``binary`` is any iterable of function-like objects with ``name``,
+    ``size`` and ``static_callees()``.  Duplicate edges collapse.
+    """
+    graph = CallGraph()
+    funcs = list(binary)
+    for func in funcs:
+        graph.add_node(func.name, func.size)
+    for func in funcs:
+        for callee in func.static_callees():
+            graph.add_edge(func.name, callee)
+    return graph

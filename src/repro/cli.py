@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro list                       enumerate workloads and prefetchers
+    repro run WORKLOAD               simulate one prefetcher vs. FDIP
+    repro compare WORKLOAD           run the paper's comparison set
+    repro bundles WORKLOAD           Algorithm 1 report for a workload
+    repro characterize WORKLOAD      structural workload profile
+    repro trace WORKLOAD -o F.npz    generate + save a trace
+    repro replay F.npz               simulate a saved trace
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import compare_run
+from repro.analysis.reporting import format_table
+from repro.cpu import MachineConfig, simulate
+from repro.prefetchers import PREFETCHER_NAMES, make_prefetcher
+from repro.workloads.suite import SCALES, WORKLOAD_NAMES, workload_params
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="bench", choices=sorted(SCALES),
+                        help="trace length preset (default: bench)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="trace RNG seed (default: 1)")
+    parser.add_argument("--warmup", type=float, default=0.45,
+                        help="warmup fraction (default: 0.45)")
+
+
+def _get_trace(args):
+    from repro.workloads.cache import get_trace
+
+    return get_trace(args.workload, scale=args.scale, seed=args.seed)
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        params = workload_params(name)
+        rows.append([
+            name, len(params.stages), params.n_request_types,
+            f"{params.total_routine_kb():.0f}",
+            params.bundle_threshold // 1024,
+        ])
+    print(format_table(
+        ["workload", "stages", "req_types", "routines_kb", "threshold_kb"],
+        rows,
+    ))
+    print(f"\nprefetchers: {', '.join(PREFETCHER_NAMES)}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    trace = _get_trace(args)
+    print(f"{trace}")
+    baseline = simulate(trace, warmup_fraction=args.warmup)
+    print(f"FDIP baseline: IPC {baseline.ipc:.3f}, "
+          f"L1-I MPKI {baseline.l1i_mpki:.2f}")
+    if args.prefetcher in ("fdip", "none"):
+        return 0
+    pf = make_prefetcher(args.prefetcher)
+    stats = simulate(trace, prefetcher=pf, warmup_fraction=args.warmup)
+    report = compare_run(args.prefetcher, stats, baseline)
+    print(format_table(
+        ["prefetcher", "distance", "accuracy", "cov_L1", "cov_L2",
+         "late", "speedup"],
+        [report.row()],
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = _get_trace(args)
+    baseline = simulate(trace, warmup_fraction=args.warmup)
+    rows = []
+    for name in args.prefetchers:
+        pf = make_prefetcher(name)
+        stats = simulate(trace, prefetcher=pf, warmup_fraction=args.warmup)
+        rows.append(compare_run(name, stats, baseline).row())
+    if args.perfect:
+        cfg = MachineConfig().replace(**{"hierarchy.perfect_l1i": True})
+        perfect = simulate(trace, config=cfg, warmup_fraction=args.warmup)
+        rows.append(["perfect_l1i", "-", "-", "-", "-", "-",
+                     f"{perfect.ipc / baseline.ipc - 1:+.1%}"])
+    print(f"{args.workload} @ {args.scale}: baseline IPC "
+          f"{baseline.ipc:.3f}, MPKI {baseline.l1i_mpki:.2f}\n")
+    print(format_table(
+        ["prefetcher", "distance", "accuracy", "cov_L1", "cov_L2",
+         "late", "speedup"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_bundles(args) -> int:
+    from repro.core.bundles import identify_bundles
+    from repro.workloads.cache import get_application
+
+    app = get_application(args.workload)
+    threshold = (args.threshold * 1024 if args.threshold
+                 else app.params.bundle_threshold)
+    info = identify_bundles(app.binary, threshold)
+    print(f"{app}")
+    print(f"threshold {threshold // 1024} KB: {info.n_bundles} Bundle "
+          f"entries / {info.n_functions} functions "
+          f"({info.bundle_fraction:.2%})")
+    live = sorted(
+        (n for n in info.entries if not n.startswith("cold")),
+        key=lambda n: -info.reachable[n],
+    )[: args.top]
+    print(format_table(
+        ["entry point", "reachable_kb"],
+        [[n, info.reachable[n] // 1024] for n in live],
+    ))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.workloads.cache import get_application
+    from repro.workloads.characterize import characterize
+
+    app = get_application(args.workload)
+    trace = _get_trace(args)
+    profile = characterize(app, trace)
+    print(f"{args.workload} @ {args.scale}")
+    print(format_table(["property", "value"], profile.rows()))
+    print()
+    print(format_table(
+        ["stage", "avg footprint (KB)"],
+        [[stage, f"{kb:.1f}"]
+         for stage, kb in profile.stage_footprints_kb.items()],
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.workloads.serialization import save_trace
+
+    trace = _get_trace(args)
+    save_trace(trace, args.output)
+    print(f"wrote {trace} -> {args.output}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.workloads.serialization import load_trace
+
+    trace = load_trace(args.file)
+    print(f"loaded {trace}")
+    pf = (make_prefetcher(args.prefetcher)
+          if args.prefetcher not in ("fdip", "none") else None)
+    stats = simulate(trace, prefetcher=pf, warmup_fraction=args.warmup)
+    print(f"IPC {stats.ipc:.3f}, L1-I MPKI {stats.l1i_mpki:.2f}, "
+          f"cycles {stats.cycles:.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical Prefetching (ASPLOS 2025) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and prefetchers")
+
+    run = sub.add_parser("run", help="simulate one prefetcher")
+    run.add_argument("workload", choices=WORKLOAD_NAMES)
+    run.add_argument("--prefetcher", default="hierarchical",
+                     choices=PREFETCHER_NAMES)
+    _add_scale(run)
+
+    cmp_ = sub.add_parser("compare", help="run the comparison set")
+    cmp_.add_argument("workload", choices=WORKLOAD_NAMES)
+    cmp_.add_argument("--prefetchers", nargs="+",
+                      default=["efetch", "mana", "eip", "hierarchical"],
+                      choices=[n for n in PREFETCHER_NAMES if n != "fdip"])
+    cmp_.add_argument("--perfect", action="store_true",
+                      help="include the perfect-L1I headroom row")
+    _add_scale(cmp_)
+
+    bundles = sub.add_parser("bundles", help="Algorithm 1 report")
+    bundles.add_argument("workload", choices=WORKLOAD_NAMES)
+    bundles.add_argument("--threshold", type=int, default=0,
+                         help="divergence threshold in KB "
+                              "(default: the workload's)")
+    bundles.add_argument("--top", type=int, default=15,
+                         help="entries to display")
+
+    char = sub.add_parser("characterize",
+                          help="structural workload profile")
+    char.add_argument("workload", choices=WORKLOAD_NAMES)
+    _add_scale(char)
+
+    trace = sub.add_parser("trace", help="generate and save a trace")
+    trace.add_argument("workload", choices=WORKLOAD_NAMES)
+    trace.add_argument("-o", "--output", required=True,
+                       help="output .npz path")
+    _add_scale(trace)
+
+    replay = sub.add_parser("replay", help="simulate a saved trace")
+    replay.add_argument("file", help="trace .npz path")
+    replay.add_argument("--prefetcher", default="hierarchical",
+                        choices=PREFETCHER_NAMES)
+    replay.add_argument("--warmup", type=float, default=0.45)
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "bundles": cmd_bundles,
+    "characterize": cmd_characterize,
+    "trace": cmd_trace,
+    "replay": cmd_replay,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

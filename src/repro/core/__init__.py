@@ -1,0 +1,45 @@
+"""Hierarchical Prefetching — the paper's primary contribution.
+
+Software side: :mod:`repro.core.bundles` implements Algorithm 1 (Bundle
+entry-point identification over the static call graph).
+
+Hardware side: :mod:`repro.core.compression` (Compression Buffer),
+:mod:`repro.core.metadata` (in-memory Metadata Buffer and on-chip
+Metadata Address Table), :mod:`repro.core.record` / :mod:`repro.core.replay`
+(the two engines of Figure 8), and :mod:`repro.core.prefetcher`, which
+ties them into the commit-driven :class:`HierarchicalPrefetcher`.
+"""
+
+from repro.core.bundles import BundleInfo, get_bundle_entries, identify_bundles
+from repro.core.compression import CompressionBuffer, SpatialRegion
+from repro.core.metadata import (
+    MetadataAddressTable,
+    MetadataBuffer,
+    Segment,
+    SEGMENT_REGIONS,
+)
+
+
+def __getattr__(name):
+    # HierarchicalPrefetcher pulls in the ISA and prefetcher-base
+    # packages, which themselves use repro.core.bundles at link time —
+    # resolve it lazily to keep the import graph acyclic.
+    if name in ("HierarchicalPrefetcher", "HPConfig"):
+        from repro.core import prefetcher
+
+        return getattr(prefetcher, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BundleInfo",
+    "get_bundle_entries",
+    "identify_bundles",
+    "CompressionBuffer",
+    "SpatialRegion",
+    "MetadataAddressTable",
+    "MetadataBuffer",
+    "Segment",
+    "SEGMENT_REGIONS",
+    "HierarchicalPrefetcher",
+    "HPConfig",
+]

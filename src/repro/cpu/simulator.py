@@ -1,0 +1,185 @@
+"""Trace-driven front-end timing simulator.
+
+The commit loop walks the basic-block trace once.  Per committed block:
+
+1. the FDIP front end advances its runahead pointer (issuing FTQ
+   prefetches, evaluating branch predictions in trace order);
+2. the I-TLB translates the block's page (stalling on a walk);
+3. the demand fetch of the block's cache line(s) goes to the hierarchy
+   (stalling for residual fill latency on a miss);
+4. cycles advance by ``ninstr / commit_width`` plus any branch penalty
+   charged when a mispredicted/BTB-missing terminator commits;
+5. the attached instruction prefetcher observes the commit.
+
+The model is deterministic and warmup-aware: statistics are reset at the
+warmup boundary while all microarchitectural state (caches, predictors,
+prefetcher metadata) persists — mirroring the paper's 100M-warmup /
+100M-measure methodology at reduced scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.stats import SimStats
+from repro.frontend.fdip import FDIPFrontEnd, PEN_BTB_MISS, PEN_MISPREDICT
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tlb import InstructionTLB
+
+
+class FrontEndSimulator:
+    """One simulated core running one trace."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        prefetcher=None,
+        track_block_misses: bool = False,
+    ):
+        self.config = config or MachineConfig()
+        self.stats = SimStats()
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy, self.stats)
+        self.frontend = FDIPFrontEnd(self.config.frontend, self.stats)
+        self.itlb = InstructionTLB(
+            self.config.core.itlb_entries, self.config.core.itlb_walk_latency
+        )
+        self.prefetcher = prefetcher
+        if track_block_misses:
+            self.hierarchy.l2_miss_map = {}
+        self.now = 0.0
+        self.commit_index = 0
+        self.trace = None
+
+    def run(self, trace, warmup_fraction: float = 0.45) -> SimStats:
+        """Simulate ``trace``; return measured-window statistics."""
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        n = len(trace)
+        if n == 0:
+            raise ValueError("empty trace")
+        self.trace = trace
+        self.frontend.bind(trace, self.hierarchy)
+        if self.prefetcher is not None:
+            self.prefetcher.attach(self, trace)
+        warmup_end = int(n * warmup_fraction)
+        if warmup_end:
+            self._run_range(0, warmup_end)
+        self._begin_measurement()
+        self._run_range(warmup_end, n)
+        self._finish_measurement()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _begin_measurement(self) -> None:
+        self.stats.reset()
+        if self.hierarchy.l2_miss_map is not None:
+            self.hierarchy.l2_miss_map.clear()
+        self._cycle0 = self.now
+        self._itlb_acc0 = self.itlb.accesses
+        self._itlb_miss0 = self.itlb.misses
+        if self.prefetcher is not None:
+            self.prefetcher.on_measurement_start()
+
+    def _finish_measurement(self) -> None:
+        stats = self.stats
+        stats.cycles = self.now - self._cycle0
+        stats.itlb_accesses = self.itlb.accesses - self._itlb_acc0
+        stats.itlb_misses = self.itlb.misses - self._itlb_miss0
+        if self.prefetcher is not None:
+            self.prefetcher.on_measurement_end()
+
+    def _run_range(self, start: int, end: int) -> None:
+        trace = self.trace
+        pc_arr = trace.pc
+        nin_arr = trace.ninstr
+        stats = self.stats
+        frontend = self.frontend
+        hierarchy = self.hierarchy
+        itlb = self.itlb
+        prefetcher = self.prefetcher
+        inv_width = 1.0 / self.config.core.commit_width
+        slack = self.config.core.fetch_slack
+        mispredict_penalty = self.config.frontend.mispredict_penalty
+        btb_miss_penalty = self.config.frontend.btb_miss_penalty
+        demand_fetch = hierarchy.demand_fetch
+        advance = frontend.advance
+        translate = itlb.translate
+        flags = frontend._flags
+        on_commit = prefetcher.on_commit if prefetcher is not None else None
+        on_miss = prefetcher.on_miss if prefetcher is not None else None
+        on_mispredict = (
+            prefetcher.on_mispredict if prefetcher is not None else None
+        )
+        now = self.now
+        last_block = -1
+        last_page = -1
+        for i in range(start, end):
+            advance(i, now)
+            pc = pc_arr[i]
+            nin = nin_arr[i]
+            page = pc >> 12
+            if page != last_page:
+                walk = translate(page)
+                if walk:
+                    now += walk
+                    stats.stall_itlb += walk
+                last_page = page
+            b0 = pc >> 6
+            b1 = (pc + nin * 4 - 1) >> 6
+            if b0 != last_block:
+                stall = demand_fetch(b0, now, i)
+                if stall:
+                    if stall > slack:
+                        exposed = stall - slack
+                        now += exposed
+                        stats.stall_fetch += exposed
+                    if on_miss is not None:
+                        on_miss(b0, i, stall)
+            if b1 != b0:
+                stall = demand_fetch(b1, now, i)
+                if stall:
+                    if stall > slack:
+                        exposed = stall - slack
+                        now += exposed
+                        stats.stall_fetch += exposed
+                    if on_miss is not None:
+                        on_miss(b1, i, stall)
+                last_block = b1
+            else:
+                last_block = b0
+            now += nin * inv_width
+            if flags:
+                pen = flags.pop(i, 0)
+                if pen:
+                    if pen == PEN_MISPREDICT:
+                        now += mispredict_penalty
+                        stats.stall_mispredict += mispredict_penalty
+                        if on_mispredict is not None:
+                            on_mispredict(i)
+                    elif pen == PEN_BTB_MISS:
+                        now += btb_miss_penalty
+                        stats.stall_mispredict += btb_miss_penalty
+            stats.instructions += nin
+            stats.blocks += 1
+            self.commit_index = i
+            if on_commit is not None:
+                self.now = now
+                on_commit(i, now)
+        self.now = now
+
+
+def simulate(
+    trace,
+    config: Optional[MachineConfig] = None,
+    prefetcher=None,
+    warmup_fraction: float = 0.45,
+    track_block_misses: bool = False,
+) -> SimStats:
+    """One-shot convenience wrapper around :class:`FrontEndSimulator`."""
+    sim = FrontEndSimulator(
+        config=config,
+        prefetcher=prefetcher,
+        track_block_misses=track_block_misses,
+    )
+    return sim.run(trace, warmup_fraction=warmup_fraction)

@@ -1,0 +1,156 @@
+"""Simulation statistics.
+
+A single mutable container shared by the simulator, the memory
+hierarchy, the front end and the prefetchers.  Per-origin counters are
+3-element lists indexed by the fill-origin constants in
+:mod:`repro.memory.cache` (0 = demand, 1 = FDIP, 2 = evaluated
+prefetcher).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Serving-level keys for miss/latency accounting.
+LEVEL_L2 = "L2"
+LEVEL_LLC = "LLC"
+LEVEL_DRAM = "DRAM"
+LEVELS = (LEVEL_L2, LEVEL_LLC, LEVEL_DRAM)
+
+
+def _per_origin() -> List[int]:
+    return [0, 0, 0]
+
+
+def _per_level() -> Dict[str, int]:
+    return {LEVEL_L2: 0, LEVEL_LLC: 0, LEVEL_DRAM: 0}
+
+
+class SimStats:
+    """All counters collected during one simulation run."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (used at the warmup boundary)."""
+        # Core
+        self.instructions = 0
+        self.blocks = 0
+        self.cycles = 0.0
+        self.stall_fetch = 0.0
+        self.stall_mispredict = 0.0
+        self.stall_itlb = 0.0
+        # Branches
+        self.cond_branches = 0
+        self.cond_mispredicts = 0
+        self.indirect_branches = 0
+        self.indirect_mispredicts = 0
+        self.returns = 0
+        self.ras_mispredicts = 0
+        self.btb_lookups = 0
+        self.btb_misses = 0
+        # L1-I demand stream
+        self.demand_accesses = 0
+        self.l1i_hits = 0
+        self.l1i_misses = 0
+        self.l2_demand_misses = 0  # demand fetches served beyond the L2
+        self.served_by = _per_level()
+        self.exposed_latency = _per_level()  # stall cycles by serving level
+        # Prefetching (per origin)
+        self.pf_issued = _per_origin()
+        self.pf_useful = _per_origin()
+        self.pf_useless = _per_origin()   # evicted before any demand hit
+        self.pf_redundant = _per_origin()
+        self.pf_dropped = _per_origin()
+        self.pf_late = _per_origin()      # demand hit while still in flight
+        self.covered = _per_origin()      # L1-I demand hit on a prefetched block
+        self.covered_l2 = _per_origin()   # demand L1 miss that hit a prefetched L2 block
+        self.distance_sum = _per_origin()  # committed-block distance trigger->use
+        self.distance_n = _per_origin()
+        # Bandwidth (bytes)
+        #: Fill traffic crossing the L2<->uncore boundary (demand and
+        #: prefetch fills sourced beyond the L2) — the "memory
+        #: bandwidth" denominator of Figure 16.
+        self.uncore_fill_bytes = 0
+        self.dram_read_bytes = 0
+        self.dram_write_bytes = 0
+        self.metadata_read_bytes = 0
+        self.metadata_write_bytes = 0
+        # I-TLB
+        self.itlb_accesses = 0
+        self.itlb_misses = 0
+        # Free-form per-prefetcher extras (bundle stats, table hit rates…)
+        self.extra: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1i_mpki(self) -> float:
+        """L1-I demand misses per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l1i_misses / self.instructions
+
+    @property
+    def l2_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2_demand_misses / self.instructions
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.metadata_read_bytes + self.metadata_write_bytes
+
+    @property
+    def memory_traffic_bytes(self) -> int:
+        """All memory-side traffic: uncore fills plus metadata accesses
+        (the Figure 16 definition: "all memory accesses")."""
+        return self.uncore_fill_bytes + self.metadata_bytes
+
+    def accuracy(self, origin: int) -> float:
+        """Fraction of origin's prefetches that served a demand fetch."""
+        issued = self.pf_issued[origin]
+        return self.pf_useful[origin] / issued if issued else 0.0
+
+    def late_fraction(self, origin: int) -> float:
+        """Fraction of origin's *useful* prefetches that arrived late."""
+        useful = self.pf_useful[origin]
+        return self.pf_late[origin] / useful if useful else 0.0
+
+    def avg_distance(self, origin: int) -> float:
+        """Average trigger-to-use distance in committed cache blocks."""
+        n = self.distance_n[origin]
+        return self.distance_sum[origin] / n if n else 0.0
+
+    def total_exposed_latency(self) -> float:
+        return sum(self.exposed_latency.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat snapshot for reporting."""
+        out: Dict[str, object] = {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "l1i_mpki": self.l1i_mpki,
+            "l2_mpki": self.l2_mpki,
+            "l1i_misses": self.l1i_misses,
+            "l2_demand_misses": self.l2_demand_misses,
+            "dram_bytes": self.dram_bytes,
+        }
+        out.update(self.extra)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SimStats(instrs={self.instructions}, ipc={self.ipc:.3f}, "
+            f"l1i_mpki={self.l1i_mpki:.2f})"
+        )

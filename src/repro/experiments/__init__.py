@@ -1,0 +1,26 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Every artifact in the paper's evaluation has a function here returning
+structured results; the scripts under ``benchmarks/`` call these and
+print the corresponding rows/series.  Results are cached per
+(workload, scale, config, prefetcher) within the process so figures
+sharing runs (9, 10, 11, T2…) pay for each simulation once.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_WARMUP,
+    REPRESENTATIVE_WORKLOADS,
+    run_baseline,
+    run_prefetcher,
+    compare_all,
+    clear_run_cache,
+)
+
+__all__ = [
+    "DEFAULT_WARMUP",
+    "REPRESENTATIVE_WORKLOADS",
+    "run_baseline",
+    "run_prefetcher",
+    "compare_all",
+    "clear_run_cache",
+]

@@ -1,0 +1,99 @@
+"""Ablation studies on HP's design choices (DESIGN.md §6).
+
+These isolate decisions the paper motivates but does not ablate:
+record-supersede semantics, num-insts pacing, the replay trigger
+point (via initial-segment aggressiveness), and the Bundle divergence
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import geomean
+from repro.experiments.runner import (
+    REPRESENTATIVE_WORKLOADS,
+    run_baseline,
+    run_prefetcher,
+)
+from repro.workloads.cache import clear_caches, get_application
+from repro.workloads.suite import requests_for, workload_params
+
+
+def _hp_speedup(workloads: Sequence[str], scale: str,
+                config: dict) -> float:
+    ratios = []
+    for w in workloads:
+        base, _ = run_baseline(w, scale=scale)
+        stats, _ = run_prefetcher(w, "hierarchical", scale=scale,
+                                  pf_kwargs={"config": config})
+        ratios.append(stats.ipc / base.ipc)
+    return geomean(ratios) - 1.0
+
+
+def ablation_record_policy(
+    workloads: Sequence[str] = REPRESENTATIVE_WORKLOADS,
+    scale: str = "bench",
+) -> Dict[str, float]:
+    """Supersede (keep most recent footprint) vs. keep-first-recording."""
+    return {
+        "supersede": _hp_speedup(workloads, scale, {"supersede": True}),
+        "keep_first": _hp_speedup(workloads, scale, {"supersede": False}),
+    }
+
+
+def ablation_pacing(
+    workloads: Sequence[str] = REPRESENTATIVE_WORKLOADS,
+    scale: str = "bench",
+) -> Dict[str, float]:
+    """num-insts segment pacing vs. issuing the whole footprint at once."""
+    return {
+        "paced": _hp_speedup(workloads, scale, {"paced": True}),
+        "all_at_once": _hp_speedup(workloads, scale, {"paced": False}),
+    }
+
+
+def ablation_initial_segments(
+    workloads: Sequence[str] = REPRESENTATIVE_WORKLOADS,
+    scale: str = "bench",
+    values: Sequence[int] = (1, 2, 4),
+) -> List[Tuple[int, float]]:
+    """How many segments to launch unpaced at Bundle start (paper: 2)."""
+    return [
+        (n, _hp_speedup(workloads, scale, {"initial_segments": n}))
+        for n in values
+    ]
+
+
+def ablation_threshold(
+    workload: str = "tidb_tpcc",
+    scale: str = "bench",
+    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+) -> List[Tuple[int, float, int]]:
+    """Sweep the Bundle divergence threshold on one workload.
+
+    Returns (threshold bytes, HP speedup, static bundle count).  Each
+    point relinks the binary, so workload caches are cleared — this is
+    the most expensive ablation.
+    """
+    from repro.analysis.metrics import speedup
+    from repro.cpu import simulate
+    from repro.prefetchers import make_prefetcher
+
+    base_params = workload_params(workload)
+    base_threshold = base_params.bundle_threshold
+    out: List[Tuple[int, float, int]] = []
+    for factor in factors:
+        threshold = max(4096, int(base_threshold * factor))
+        import copy
+
+        params = copy.deepcopy(base_params)
+        params.bundle_threshold = threshold
+        from repro.workloads.generator import build_app
+
+        app = build_app(params)
+        trace = app.trace(requests_for(workload, scale), seed=1)
+        base = simulate(trace)
+        hp = simulate(trace, prefetcher=make_prefetcher("hierarchical"))
+        out.append((threshold, speedup(hp, base), app.program.n_bundles))
+    return out

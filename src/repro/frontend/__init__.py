@@ -1,0 +1,24 @@
+"""Decoupled front-end substrate: BTB, branch predictors, RAS, FDIP.
+
+FDIP (fetch-directed instruction prefetching, §2.1) is the baseline of
+every experiment in the paper: the branch-prediction unit runs ahead of
+fetch, pushing predicted fetch targets into the FTQ, from which
+prefetches are issued.  Its known weaknesses — BTB misses halt the
+runahead, mispredictions flush it — are modelled explicitly, because the
+gap they leave is exactly what the evaluated prefetchers compete to fill.
+"""
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.tage import TagePredictor
+from repro.frontend.ittage import ITTagePredictor
+from repro.frontend.fdip import FDIPFrontEnd, FrontEndParams
+
+__all__ = [
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "TagePredictor",
+    "ITTagePredictor",
+    "FDIPFrontEnd",
+    "FrontEndParams",
+]

@@ -1,0 +1,181 @@
+"""FDIP: fetch-directed instruction prefetching via a decoupled front end.
+
+The runahead pointer walks the committed path ahead of the commit
+pointer, up to the FTQ capacity, issuing prefetches for every fetch
+region it enqueues.  It advances past a branch only while the branch
+prediction unit can follow it:
+
+* conditional direction comes from TAGE; a wrong direction is a
+  misprediction — the FTQ is flushed, the runahead collapses to the
+  commit point and the pipeline pays the full restart penalty;
+* taken direct branches need a BTB hit; a BTB miss stops the runahead
+  (FDIP cannot discover the discontinuity) and costs a fetch resteer
+  bubble when the branch resolves;
+* returns come from the RAS; indirect targets from ITTAGE.
+
+Wrong-path fetch is not modelled (see DESIGN.md §5); the first-order
+FDIP behaviours — limited runahead under BTB pressure and flush-on-
+mispredict — are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ittage import ITTagePredictor
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.tage import TagePredictor
+from repro.isa.instructions import BranchKind
+from repro.memory.cache import ORIGIN_FDIP
+
+#: Penalty kinds recorded per block index.
+PEN_NONE = 0
+PEN_MISPREDICT = 1
+PEN_BTB_MISS = 2
+
+_COND = int(BranchKind.COND)
+_JUMP = int(BranchKind.JUMP)
+_CALL = int(BranchKind.CALL)
+_RET = int(BranchKind.RET)
+_ICALL = int(BranchKind.ICALL)
+_IJUMP = int(BranchKind.IJUMP)
+
+
+@dataclass
+class FrontEndParams:
+    """Front-end configuration (Table 1 defaults)."""
+
+    ftq_entries: int = 24
+    btb_entries: Optional[int] = 8192  # None = infinite (Figure 14)
+    btb_assoc: int = 8
+    ras_depth: int = 32
+    mispredict_penalty: float = 15.0
+    btb_miss_penalty: float = 8.0
+    #: Issue FTQ prefetches (True = FDIP; False = no-FDIP ablation —
+    #: branches are still predicted and penalties still charged).
+    issue_prefetches: bool = True
+
+
+class FDIPFrontEnd:
+    """Decoupled front-end model bound to one trace."""
+
+    def __init__(self, params: FrontEndParams, stats):
+        self.params = params
+        self.stats = stats
+        self.btb = BranchTargetBuffer(params.btb_entries, params.btb_assoc)
+        self.tage = TagePredictor()
+        self.ittage = ITTagePredictor()
+        self.ras = ReturnAddressStack(params.ras_depth)
+        self.hierarchy = None
+        self._flags: Dict[int, int] = {}
+        self._ptr = 0          # next trace index the runahead will visit
+        self._blocked_at = -1  # runahead waits until commit reaches this
+        # Bound trace arrays.
+        self._pc = self._nin = self._kind = self._taken = self._tgt = None
+        self._n = 0
+
+    def bind(self, trace, hierarchy) -> None:
+        """Attach the front end to a trace and the memory hierarchy."""
+        self._pc = trace.pc
+        self._nin = trace.ninstr
+        self._kind = trace.kind
+        self._taken = trace.taken
+        self._tgt = trace.target
+        self._n = len(trace)
+        self.hierarchy = hierarchy
+        self._ptr = 0
+        self._blocked_at = -1
+        self._flags.clear()
+
+    def penalty_at(self, i: int) -> int:
+        """Penalty kind charged when block ``i`` commits (consumed)."""
+        if self._flags:
+            return self._flags.pop(i, PEN_NONE)
+        return PEN_NONE
+
+    def advance(self, commit_i: int, now: float) -> None:
+        """Advance the runahead pointer given the commit position."""
+        if self._blocked_at >= 0:
+            if commit_i < self._blocked_at:
+                return
+            self._blocked_at = -1
+        limit = commit_i + self.params.ftq_entries
+        n = self._n
+        if limit >= n:
+            limit = n - 1
+        pc = self._pc
+        nin = self._nin
+        issue = self.params.issue_prefetches and self.hierarchy is not None
+        hier = self.hierarchy
+        ptr = self._ptr
+        while ptr <= limit:
+            i = ptr
+            if issue and i > commit_i:
+                addr = pc[i]
+                b0 = addr >> 6
+                b1 = (addr + nin[i] * 4 - 1) >> 6
+                hier.prefetch(b0, now, ORIGIN_FDIP, issue_index=commit_i)
+                if b1 != b0:
+                    hier.prefetch(b1, now, ORIGIN_FDIP, issue_index=commit_i)
+            outcome = self._evaluate(i)
+            ptr = i + 1
+            if outcome != PEN_NONE:
+                self._flags[i] = outcome
+                self._blocked_at = i
+                break
+        self._ptr = ptr
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, i: int) -> int:
+        """Run the branch-prediction unit over block ``i``'s terminator."""
+        kind = self._kind[i]
+        if kind == 0:  # BranchKind.NONE
+            return PEN_NONE
+        stats = self.stats
+        pc = self._pc[i]
+        term = pc + (self._nin[i] - 1) * 4
+        target = self._tgt[i]
+        if kind == _COND:
+            taken = self._taken[i] != 0
+            stats.cond_branches += 1
+            correct = self.tage.predict_and_update(term, taken)
+            if not correct:
+                stats.cond_mispredicts += 1
+                return PEN_MISPREDICT
+            if taken:
+                stats.btb_lookups += 1
+                known = self.btb.lookup(term)
+                self.btb.update(term, target)
+                if known != target:
+                    stats.btb_misses += 1
+                    return PEN_BTB_MISS
+            return PEN_NONE
+        if kind == _JUMP or kind == _CALL:
+            if kind == _CALL:
+                self.ras.push(term + 4)
+            stats.btb_lookups += 1
+            known = self.btb.lookup(term)
+            self.btb.update(term, target)
+            if known != target:
+                stats.btb_misses += 1
+                return PEN_BTB_MISS
+            return PEN_NONE
+        if kind == _RET:
+            stats.returns += 1
+            predicted = self.ras.pop()
+            if predicted != target:
+                stats.ras_mispredicts += 1
+                return PEN_MISPREDICT
+            return PEN_NONE
+        if kind == _ICALL or kind == _IJUMP:
+            if kind == _ICALL:
+                self.ras.push(term + 4)
+            stats.indirect_branches += 1
+            correct = self.ittage.predict_and_update(term, target)
+            if not correct:
+                stats.indirect_mispredicts += 1
+                return PEN_MISPREDICT
+            return PEN_NONE
+        raise ValueError(f"unknown branch kind {kind} at trace index {i}")

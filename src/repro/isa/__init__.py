@@ -1,0 +1,42 @@
+"""Synthetic ISA, binary format, and toolchain (linker / loader).
+
+The paper's software side operates on real x86-64 / AArch64 binaries: it
+builds a call graph at link time, tags bundle-entry call/return
+instructions using a reserved encoding bit, and records the entry
+addresses in an ELF-like segment.  This package provides the synthetic
+equivalent: a fixed-width RISC-like ISA (4-byte instructions, 64-byte
+cache blocks), a :class:`~repro.isa.binary.Binary` container of
+:class:`~repro.isa.binary.Function` objects whose bodies are explicit
+basic-block programs, a :class:`~repro.isa.linker.Linker` that runs the
+bundle-identification pass, and a :class:`~repro.isa.loader.LoadedProgram`
+that applies the tag bits for the hardware to observe.
+"""
+
+from repro.isa.instructions import (
+    BranchKind,
+    INSTR_BYTES,
+    CACHE_BLOCK_BYTES,
+    PAGE_BYTES,
+    block_of,
+    block_addr,
+    page_of,
+)
+from repro.isa.binary import BlockSpec, Function, Binary
+from repro.isa.linker import Linker, LinkResult
+from repro.isa.loader import LoadedProgram
+
+__all__ = [
+    "BranchKind",
+    "INSTR_BYTES",
+    "CACHE_BLOCK_BYTES",
+    "PAGE_BYTES",
+    "block_of",
+    "block_addr",
+    "page_of",
+    "BlockSpec",
+    "Function",
+    "Binary",
+    "Linker",
+    "LinkResult",
+    "LoadedProgram",
+]

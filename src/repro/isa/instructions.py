@@ -1,0 +1,91 @@
+"""Instruction-level constants and helpers for the synthetic ISA.
+
+The synthetic ISA is deliberately minimal: fixed 4-byte instructions, a
+flat 48-bit address space, and seven control-flow terminator kinds.  The
+paper targets x86-64/AArch64 and uses a reserved bit in call/return
+encodings to mark Bundle entry points; here the tag travels as an explicit
+boolean on the trace record (see :mod:`repro.isa.loader`), which is the
+same one-bit channel.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Size of one instruction in bytes (fixed-width RISC-like encoding).
+INSTR_BYTES = 4
+
+#: Size of one cache block in bytes (matches Table 1 of the paper).
+CACHE_BLOCK_BYTES = 64
+
+#: Log2 of the cache block size, used for fast address-to-block shifts.
+BLOCK_SHIFT = 6
+
+#: Size of one virtual-memory page in bytes (used by the I-TLB model).
+PAGE_BYTES = 4096
+
+#: Log2 of the page size.
+PAGE_SHIFT = 12
+
+#: Base virtual address at which the text segment is laid out.
+TEXT_BASE = 0x400000
+
+
+class BranchKind(enum.IntEnum):
+    """Terminator kind of a basic block.
+
+    ``NONE`` means the block falls through (only valid as an internal
+    artifact, e.g. a block split across a function boundary); every real
+    basic block in a function body ends with one of the control-flow
+    kinds below.
+    """
+
+    NONE = 0
+    #: Conditional direct branch (taken/not-taken decided per execution).
+    COND = 1
+    #: Unconditional direct jump.
+    JUMP = 2
+    #: Direct call; pushes a return address.
+    CALL = 3
+    #: Return; pops the return address.
+    RET = 4
+    #: Indirect call through a register (dispatch point).
+    ICALL = 5
+    #: Indirect jump (e.g. jump table).
+    IJUMP = 6
+
+
+#: Kinds that transfer control to a callee and push a return address.
+CALL_KINDS = frozenset({BranchKind.CALL, BranchKind.ICALL})
+
+#: Kinds whose target cannot be encoded in the instruction (BTB-dependent).
+INDIRECT_KINDS = frozenset({BranchKind.ICALL, BranchKind.IJUMP})
+
+
+def block_of(addr: int) -> int:
+    """Return the cache-block index containing byte address ``addr``."""
+    return addr >> BLOCK_SHIFT
+
+
+def block_addr(block: int) -> int:
+    """Return the first byte address of cache-block index ``block``."""
+    return block << BLOCK_SHIFT
+
+
+def page_of(addr: int) -> int:
+    """Return the page index containing byte address ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def blocks_spanned(addr: int, nbytes: int) -> range:
+    """Return the range of cache-block indices touched by ``nbytes``
+    starting at ``addr``.
+
+    Basic blocks are small (a handful of instructions) so this is a range
+    of one or two blocks in practice.
+    """
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    first = addr >> BLOCK_SHIFT
+    last = (addr + nbytes - 1) >> BLOCK_SHIFT
+    return range(first, last + 1)

@@ -1,0 +1,87 @@
+"""Load-time tag application (paper §5.2, step ②).
+
+The loader reads the ``bundle_entries`` section written by the linker
+and exposes the tag-bit view the hardware sees: a membership test on
+terminator-instruction addresses, and the Bundle-ID hash computed from
+the address of the next instruction following a tagged one (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.isa.binary import Binary
+from repro.isa.linker import BUNDLE_SECTION, Linker, LinkResult
+
+#: Width of the hardware Bundle ID in bits (§5.3.3).
+BUNDLE_ID_BITS = 24
+_BUNDLE_ID_MASK = (1 << BUNDLE_ID_BITS) - 1
+
+
+def bundle_id_of(next_addr: int) -> int:
+    """Hash the address following a tagged instruction into a Bundle ID.
+
+    The paper hashes "the address of the next instruction following the
+    tagged one".  We fold the block-aligned address bits down to 24 bits
+    with a multiplicative hash so nearby entry points spread across the
+    Metadata Address Table sets.
+    """
+    x = next_addr >> 2  # instruction-aligned
+    x = (x * 0x9E3779B1) & 0xFFFFFFFF
+    return (x ^ (x >> 16)) & _BUNDLE_ID_MASK
+
+
+class LoadedProgram:
+    """A laid-out binary with Bundle tags applied.
+
+    This is the object the trace generator consults to set the per-block
+    ``tagged`` flag, and the hardware prefetcher consults to compute
+    Bundle IDs.
+    """
+
+    def __init__(self, binary: Binary, link_result: Optional[LinkResult] = None):
+        if link_result is None:
+            section = binary.sections.get(BUNDLE_SECTION)
+            if section is None:
+                raise ValueError(
+                    "binary has no bundle_entries section; run Linker.link() "
+                    "or use LoadedProgram.load()"
+                )
+            link_result = section  # type: ignore[assignment]
+        if not binary.is_laid_out:
+            raise ValueError("binary must be laid out before loading")
+        self.binary = binary
+        self.link_result: LinkResult = link_result
+        self.tagged: FrozenSet[int] = link_result.tagged_addrs
+
+    @classmethod
+    def load(cls, binary: Binary, threshold: int) -> "LoadedProgram":
+        """Convenience: link (if needed) then load in one step."""
+        section = binary.sections.get(BUNDLE_SECTION)
+        needs_link = (
+            section is None
+            or not binary.is_laid_out
+            or section.threshold != threshold  # type: ignore[union-attr]
+        )
+        if needs_link:
+            Linker(threshold).link(binary)
+        return cls(binary)
+
+    def is_tagged(self, terminator_addr: int) -> bool:
+        """Does the instruction at ``terminator_addr`` carry the tag bit?"""
+        return terminator_addr in self.tagged
+
+    @staticmethod
+    def bundle_id(next_addr: int) -> int:
+        """Bundle ID for the instruction following a tagged call/return."""
+        return bundle_id_of(next_addr)
+
+    @property
+    def n_bundles(self) -> int:
+        return self.link_result.bundles.n_bundles
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadedProgram(functions={len(self.binary)}, "
+            f"bundles={self.n_bundles}, tagged_instrs={len(self.tagged)})"
+        )

@@ -1,0 +1,27 @@
+"""Memory-hierarchy substrate: caches, MSHR-limited fills, I-TLB, DRAM.
+
+Geometry and latencies default to Table 1 of the paper (32 KB L1-I,
+512 KB L2, 2 MB LLC, DDR4).  Prefetch fills allocate in the LRU caches
+like any other fill, so prefetch pollution — the effect that limits EIP —
+is modelled, and a bandwidth meter tracks DRAM plus metadata traffic for
+Figure 16.
+"""
+
+from repro.memory.cache import (
+    SetAssocCache,
+    ORIGIN_DEMAND,
+    ORIGIN_FDIP,
+    ORIGIN_PF,
+)
+from repro.memory.tlb import InstructionTLB
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+__all__ = [
+    "SetAssocCache",
+    "ORIGIN_DEMAND",
+    "ORIGIN_FDIP",
+    "ORIGIN_PF",
+    "InstructionTLB",
+    "HierarchyParams",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,61 @@
+"""Instruction TLB model (fully associative, LRU).
+
+Demand fetches that miss stall for the page-walk latency; prefetch
+translations (HP dispatches spatial-region base addresses to the TLB,
+§5.3.5) add the walk latency to the prefetch's completion time instead
+of stalling the core.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: Page-walk latency in cycles charged on a TLB miss.
+DEFAULT_WALK_LATENCY = 40
+
+
+class InstructionTLB:
+    """Fully associative LRU I-TLB over page indices."""
+
+    def __init__(self, n_entries: int = 128,
+                 walk_latency: int = DEFAULT_WALK_LATENCY):
+        if n_entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.n_entries = n_entries
+        self.walk_latency = walk_latency
+        self._entries: OrderedDict = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+
+    def translate(self, page: int) -> int:
+        """Access the TLB for ``page``; return the added latency in cycles.
+
+        0 on a hit; ``walk_latency`` on a miss (the page is then
+        installed, evicting the LRU entry if full).
+        """
+        self.accesses += 1
+        entries = self._entries
+        if page in entries:
+            entries.move_to_end(page)
+            return 0
+        self.misses += 1
+        if len(entries) >= self.n_entries:
+            entries.popitem(last=False)
+        entries[page] = True
+        return self.walk_latency
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"InstructionTLB(entries={self.n_entries}, "
+            f"resident={len(self)}, miss_rate={self.miss_rate:.4f})"
+        )

@@ -1,0 +1,26 @@
+"""Baseline instruction prefetchers evaluated against Hierarchical
+Prefetching: EFetch (caller-callee, §2.3), MANA (temporal streaming,
+§2.2) and EIP (entangling, §2.4), plus the RDIP (§2.3) and PIF (§2.2)
+extension baselines.  All run *on top of* the FDIP baseline, as in
+every experiment of the paper.
+"""
+
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.prefetchers.efetch import EFetchPrefetcher
+from repro.prefetchers.mana import ManaPrefetcher
+from repro.prefetchers.eip import EIPPrefetcher
+from repro.prefetchers.pif import PIFPrefetcher
+from repro.prefetchers.rdip import RDIPPrefetcher
+from repro.prefetchers.registry import make_prefetcher, PREFETCHER_NAMES
+
+__all__ = [
+    "InstructionPrefetcher",
+    "NullPrefetcher",
+    "EFetchPrefetcher",
+    "ManaPrefetcher",
+    "EIPPrefetcher",
+    "RDIPPrefetcher",
+    "PIFPrefetcher",
+    "make_prefetcher",
+    "PREFETCHER_NAMES",
+]

@@ -1,0 +1,54 @@
+"""Name-based prefetcher construction for experiments and examples."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.prefetchers.efetch import EFetchPrefetcher
+from repro.prefetchers.eip import EIPPrefetcher
+from repro.prefetchers.mana import ManaPrefetcher
+
+#: Names accepted by :func:`make_prefetcher`, in the paper's order
+#: (plus the RDIP extension baseline, §2.3).
+PREFETCHER_NAMES = ("fdip", "efetch", "mana", "eip", "hierarchical", "rdip", "pif")
+
+
+def make_prefetcher(name: str, **kwargs) -> Optional[InstructionPrefetcher]:
+    """Build a prefetcher by name.
+
+    ``"fdip"`` (the baseline) returns None — FDIP itself lives in the
+    front end and is always on.  Extra keyword arguments go to the
+    prefetcher constructor (``lookahead=...``, ``config=...`` etc.).
+    """
+    key = name.lower()
+    if key in ("fdip", "none", "baseline"):
+        if kwargs:
+            raise ValueError(f"baseline takes no options, got {kwargs}")
+        return None
+    if key == "efetch":
+        return EFetchPrefetcher(**kwargs)
+    if key == "mana":
+        return ManaPrefetcher(**kwargs)
+    if key == "eip":
+        return EIPPrefetcher(**kwargs)
+    if key == "rdip":
+        from repro.prefetchers.rdip import RDIPPrefetcher
+
+        return RDIPPrefetcher(**kwargs)
+    if key == "pif":
+        from repro.prefetchers.pif import PIFPrefetcher
+
+        return PIFPrefetcher(**kwargs)
+    if key in ("hierarchical", "hp"):
+        # Imported here: repro.core.prefetcher depends on the base class
+        # in this package.
+        from repro.core.prefetcher import HierarchicalPrefetcher, HPConfig
+
+        config = kwargs.get("config")
+        if isinstance(config, dict):
+            kwargs = dict(kwargs, config=HPConfig(**config))
+        return HierarchicalPrefetcher(**kwargs)
+    raise ValueError(
+        f"unknown prefetcher {name!r}; expected one of {PREFETCHER_NAMES}"
+    )

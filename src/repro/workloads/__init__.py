@@ -1,0 +1,42 @@
+"""Synthetic server workloads.
+
+The paper evaluates on 11 real server applications (Go web frameworks,
+Caddy, DGraph, gorm, MySQL and TiDB under several OLTP drivers).  We
+cannot run those binaries here, so this package generates synthetic
+applications that reproduce the *structural* properties HP exploits
+(§3.1): request/response processing through a pipeline of stages, each
+stage dispatching to per-request-type routines with 10s-100s of KB of
+stable code, shared libraries creating call-graph sharing, fine-grained
+control-flow noise inside routines, and MB-scale instruction working
+sets with long reuse distances.
+
+Public entry points: :func:`~repro.workloads.suite.build_application`
+and :func:`~repro.workloads.cache.get_trace`.
+"""
+
+from repro.workloads.appmodel import AppParams, StageSpec, Application
+from repro.workloads.generator import generate_binary, build_app
+from repro.workloads.trace import Trace, TraceBuilder
+from repro.workloads.suite import (
+    WORKLOAD_NAMES,
+    SCALES,
+    workload_params,
+    build_application,
+)
+from repro.workloads.cache import get_application, get_trace
+
+__all__ = [
+    "AppParams",
+    "StageSpec",
+    "Application",
+    "generate_binary",
+    "build_app",
+    "Trace",
+    "TraceBuilder",
+    "WORKLOAD_NAMES",
+    "SCALES",
+    "workload_params",
+    "build_application",
+    "get_application",
+    "get_trace",
+]

@@ -1,0 +1,50 @@
+"""Memoized access to generated applications and traces.
+
+Binary generation takes ~1s and trace generation a few seconds per
+workload; experiments run the same trace under many prefetchers, so
+both are cached (applications by name, traces by (name, scale, seed),
+small LRU to bound memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from repro.workloads.appmodel import Application
+from repro.workloads.suite import build_application, requests_for
+from repro.workloads.trace import Trace
+
+_APPS: Dict[str, Application] = {}
+_TRACES: OrderedDict = OrderedDict()
+_TRACE_CACHE_MAX = 6
+
+
+def get_application(name: str) -> Application:
+    """Build (once) and return the named application."""
+    app = _APPS.get(name)
+    if app is None:
+        app = build_application(name)
+        _APPS[name] = app
+    return app
+
+
+def get_trace(name: str, scale: str = "bench", seed: int = 1) -> Trace:
+    """Build (once) and return the trace for (workload, scale, seed)."""
+    key = (name, scale, seed)
+    trace = _TRACES.get(key)
+    if trace is not None:
+        _TRACES.move_to_end(key)
+        return trace
+    app = get_application(name)
+    trace = app.trace(requests_for(name, scale), seed=seed)
+    _TRACES[key] = trace
+    if len(_TRACES) > _TRACE_CACHE_MAX:
+        _TRACES.popitem(last=False)
+    return trace
+
+
+def clear_caches() -> None:
+    """Drop all cached applications and traces (tests/memory pressure)."""
+    _APPS.clear()
+    _TRACES.clear()

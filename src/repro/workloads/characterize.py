@@ -1,0 +1,101 @@
+"""Workload characterization reports.
+
+One call produces the structural profile of a workload that the paper's
+motivation section reasons about: code-size census, executed working
+set, per-stage footprints, Bundle statistics, and reuse-distance
+percentiles.  Used by ``repro.cli`` consumers and by tests that pin the
+suite's server-like properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.footprints import request_footprints, stage_footprints
+from repro.analysis.jaccard import bundle_similarity
+from repro.analysis.mrc import working_set_blocks
+from repro.analysis.reuse import block_reuse_distances
+from repro.core.bundles import identify_bundles
+
+
+@dataclass
+class WorkloadProfile:
+    """Structural profile of one (application, trace) pair."""
+
+    name: str
+    n_functions: int
+    text_kb: float
+    static_bundles: int
+    bundle_fraction: float
+    trace_blocks: int
+    trace_instructions: int
+    n_requests: int
+    executed_ws_kb: float
+    ws95_kb: float
+    stage_footprints_kb: Dict[str, float]
+    avg_request_footprint_kb: float
+    bundle_jaccard: float
+    bundle_footprint_kb: float
+    reuse_p50: float
+    reuse_p90: float
+
+    def rows(self) -> List[List[str]]:
+        return [
+            ["functions", f"{self.n_functions}"],
+            ["text size", f"{self.text_kb:.0f} KB"],
+            ["static bundles",
+             f"{self.static_bundles} ({self.bundle_fraction:.2%})"],
+            ["trace", f"{self.trace_blocks} blocks / "
+                      f"{self.trace_instructions} instrs / "
+                      f"{self.n_requests} requests"],
+            ["executed working set", f"{self.executed_ws_kb:.0f} KB"],
+            ["95% LRU working set", f"{self.ws95_kb:.0f} KB"],
+            ["avg request footprint",
+             f"{self.avg_request_footprint_kb:.0f} KB"],
+            ["bundle Jaccard", f"{self.bundle_jaccard:.3f}"],
+            ["bundle footprint", f"{self.bundle_footprint_kb:.1f} KB"],
+            ["reuse distance p50/p90",
+             f"{self.reuse_p50:.0f} / {self.reuse_p90:.0f} blocks"],
+        ]
+
+
+def _percentile(sorted_values: List[int], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(q * (len(sorted_values) - 1)))
+    return float(sorted_values[index])
+
+
+def characterize(app, trace) -> WorkloadProfile:
+    """Profile ``app``/``trace``; see :class:`WorkloadProfile`."""
+    info = identify_bundles(app.binary, app.params.bundle_threshold)
+    footprint = trace.footprint(0, len(trace))
+    stage_fps = stage_footprints(trace)
+    request_fps = request_footprints(trace)
+    bundle = bundle_similarity(trace)
+    distances: List[int] = []
+    for ds in block_reuse_distances(trace).values():
+        distances.extend(ds)
+    distances.sort()
+    return WorkloadProfile(
+        name=app.name,
+        n_functions=len(app.binary),
+        text_kb=app.binary.text_size / 1024,
+        static_bundles=info.n_bundles,
+        bundle_fraction=info.bundle_fraction,
+        trace_blocks=len(trace),
+        trace_instructions=trace.n_instructions,
+        n_requests=len(trace.requests),
+        executed_ws_kb=len(footprint) * 64 / 1024,
+        ws95_kb=working_set_blocks(trace, 0.95) * 64 / 1024,
+        stage_footprints_kb=stage_fps,
+        avg_request_footprint_kb=(
+            sum(request_fps) / len(request_fps) if request_fps else 0.0
+        ),
+        bundle_jaccard=bundle["avg_jaccard"],
+        bundle_footprint_kb=bundle["avg_footprint_kb"],
+        reuse_p50=_percentile(distances, 0.50),
+        reuse_p90=_percentile(distances, 0.90),
+    )

@@ -1,0 +1,145 @@
+"""The 11 named workloads of the paper's evaluation (§6.2).
+
+Each entry parameterizes the synthetic generator to echo the character
+of the real application: number and size of pipeline stages, routine
+working sets, shared-library weight, request-type mix, and control-flow
+noise.  The absolute sizes are scaled down ~2-4x from the real binaries
+(DESIGN.md §2) while keeping working sets far beyond the 32 KB L1-I and
+around/above the 512 KB L2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.appmodel import Application, AppParams, StageSpec
+from repro.workloads.generator import build_app
+
+#: Trace length factors; "full" targets ~1M instructions per workload.
+SCALES: Dict[str, float] = {"tiny": 0.15, "bench": 0.6, "full": 1.0}
+
+
+def _web_framework(name: str, seed: int, routine_kb: float,
+                   noise: float) -> AppParams:
+    """Go web frameworks (beego / gin / echo): HTTP routing pipelines —
+    mid-size working sets, strongly repetitive handlers."""
+    return AppParams(
+        name=name,
+        seed=seed,
+        stages=[
+            StageSpec("parse", 2, routine_kb * 0.6, shared_frac=0.35),
+            StageSpec("route", 4, routine_kb * 0.8, shared_frac=0.3),
+            StageSpec("handle", 5, routine_kb, shared_frac=0.3),
+            StageSpec("render", 4, routine_kb * 0.9, shared_frac=0.35,
+                      skip_prob=0.15),
+            StageSpec("respond", 2, routine_kb * 0.5, shared_frac=0.4),
+        ],
+        n_request_types=6,
+        zipf_alpha=0.9,
+        shared_pool_kb=220.0,
+        branch_noise=noise,
+        bundle_threshold=44 * 1024,
+        base_requests=26,
+    )
+
+
+def _database(name: str, seed: int, routine_kb: float, n_stages_big: int,
+              noise: float, request_types: int,
+              threshold_kb: int) -> AppParams:
+    """OLTP databases (mysql / tidb): deep statement pipelines with the
+    Figure-1 stage structure and large per-statement working sets."""
+    stages = [
+        StageSpec("read", 1, routine_kb * 0.7, shared_frac=0.4),
+        StageSpec("dispatch", 3, routine_kb * 0.5, shared_frac=0.3),
+        StageSpec("compile", 5, routine_kb * 1.1, shared_frac=0.25,
+                  skip_prob=0.1),
+        StageSpec("exec", n_stages_big, routine_kb * 1.4, shared_frac=0.25),
+        StageSpec("finish", 2, routine_kb * 0.6, shared_frac=0.4),
+    ]
+    return AppParams(
+        name=name,
+        seed=seed,
+        stages=stages,
+        n_request_types=request_types,
+        zipf_alpha=0.8,
+        shared_pool_kb=260.0,
+        branch_noise=noise,
+        bundle_threshold=threshold_kb * 1024,
+        base_requests=24,
+    )
+
+
+def _suite() -> Dict[str, AppParams]:
+    apps: Dict[str, AppParams] = {}
+    apps["beego"] = _web_framework("beego", 101, 42.0, 0.035)
+    gin = _web_framework("gin", 102, 46.0, 0.04)
+    gin.bundle_threshold = 48 * 1024
+    apps["gin"] = gin
+    echo = _web_framework("echo", 103, 44.0, 0.035)
+    echo.bundle_threshold = 40 * 1024
+    apps["echo"] = echo
+    # Caddy: HTTP/1-2-3 server under nghttp2 load — bigger shared core
+    # (TLS/h2 framing), fewer request types.
+    caddy = _web_framework("caddy", 104, 40.0, 0.045)
+    caddy.shared_pool_kb = 220.0
+    caddy.n_request_types = 4
+    caddy.bundle_threshold = 30 * 1024
+    caddy.base_requests = 28
+    apps["caddy"] = caddy
+    # DGraph: graph database — many query shapes, large exec stage.
+    apps["dgraph"] = _database("dgraph", 105, 40.0, 6, 0.045, 6, 36)
+    # gorm: ORM over PostgreSQL — mid working set, heavy shared library
+    # (driver + reflection-style code).
+    gorm = _web_framework("gorm", 106, 44.0, 0.035)
+    gorm.shared_pool_kb = 240.0
+    gorm.bundle_threshold = 36 * 1024
+    gorm.name = "gorm"
+    apps["gorm"] = gorm
+    # MySQL / TiDB under several OLTP drivers: same engine personality,
+    # different request mixes and intensities.
+    apps["mysql_sysbench"] = _database("mysql_sysbench", 107, 42.0, 6,
+                                       0.04, 6, 27)
+    apps["tidb_sysbench"] = _database("tidb_sysbench", 108, 42.0, 5,
+                                      0.04, 6, 34)
+    tpcc = _database("tidb_tpcc", 109, 44.0, 6, 0.045, 6, 34)
+    tpcc.zipf_alpha = 0.6  # TPC-C's five transaction types are balanced
+    apps["tidb_tpcc"] = tpcc
+    ycsb = _database("mysql_ycsb", 110, 38.0, 5, 0.035, 4, 25)
+    ycsb.zipf_alpha = 1.1  # YCSB hammers a few operation types
+    apps["mysql_ycsb"] = ycsb
+    sib = _database("mysql_sibench", 111, 36.0, 4, 0.035, 3, 26)
+    sib.base_requests = 26
+    apps["mysql_sibench"] = sib
+    return apps
+
+
+_PARAMS = _suite()
+
+#: The paper's 11 workloads, in reporting order.
+WORKLOAD_NAMES = tuple(_PARAMS)
+
+
+def workload_params(name: str) -> AppParams:
+    """Parameter set for workload ``name`` (KeyError lists valid names)."""
+    try:
+        return _PARAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {WORKLOAD_NAMES}"
+        ) from None
+
+
+def build_application(name: str) -> Application:
+    """Generate + link + load the named workload's application."""
+    return build_app(workload_params(name))
+
+
+def requests_for(name: str, scale: str) -> int:
+    """Number of requests to trace for ``name`` at ``scale``."""
+    try:
+        factor = SCALES[scale]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {scale!r}; expected one of {tuple(SCALES)}"
+        ) from None
+    return max(4, round(workload_params(name).base_requests * factor))

@@ -1,0 +1,251 @@
+"""Execution-trace generation: interpret an application's block bodies.
+
+The :class:`TraceBuilder` runs the request loop with an explicit call
+stack, drawing branch outcomes / request types / dispatch decisions from
+a seeded RNG, and emits one record per executed basic block into
+parallel arrays (the representation the simulator consumes).  It also
+annotates request and stage spans for the Figure 1 footprint analysis.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.binary import Binary, Function
+from repro.isa.instructions import BranchKind, INSTR_BYTES
+from repro.workloads.appmodel import Application
+
+_NONE = int(BranchKind.NONE)
+_COND = int(BranchKind.COND)
+_JUMP = int(BranchKind.JUMP)
+_CALL = int(BranchKind.CALL)
+_RET = int(BranchKind.RET)
+_ICALL = int(BranchKind.ICALL)
+_IJUMP = int(BranchKind.IJUMP)
+
+
+class Trace:
+    """Parallel per-basic-block arrays plus workload annotations.
+
+    Arrays (all ``len(self)`` long):
+
+    * ``pc`` — block start address;
+    * ``ninstr`` — instructions in the block;
+    * ``kind`` — terminator :class:`BranchKind` as int;
+    * ``taken`` — 1 if a COND terminator was taken;
+    * ``target`` — address of the next executed block;
+    * ``tagged`` — 1 if the terminator carries the Bundle tag bit.
+    """
+
+    def __init__(self) -> None:
+        self.pc: List[int] = []
+        self.ninstr: List[int] = []
+        self.kind: List[int] = []
+        self.taken: List[int] = []
+        self.target: List[int] = []
+        self.tagged: List[int] = []
+        #: (trace index of first block, request type) per request.
+        self.requests: List[Tuple[int, int]] = []
+        #: (start index, end index exclusive, stage name, request type).
+        self.stage_spans: List[Tuple[int, int, str, int]] = []
+        self.n_instructions = 0
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    def blocks_of(self, i: int) -> Tuple[int, int]:
+        """First and last cache-block index touched by trace block ``i``."""
+        pc = self.pc[i]
+        return pc >> 6, (pc + self.ninstr[i] * INSTR_BYTES - 1) >> 6
+
+    def terminator_addr(self, i: int) -> int:
+        return self.pc[i] + (self.ninstr[i] - 1) * INSTR_BYTES
+
+    def footprint(self, start: int, end: int) -> set:
+        """Set of cache blocks touched by trace records [start, end)."""
+        out = set()
+        pc = self.pc
+        nin = self.ninstr
+        for i in range(start, end):
+            b0 = pc[i] >> 6
+            b1 = (pc[i] + nin[i] * 4 - 1) >> 6
+            out.add(b0)
+            if b1 != b0:
+                out.add(b1)
+        return out
+
+    def request_of(self, i: int) -> int:
+        """Request type being processed at trace index ``i``."""
+        starts = [s for s, _ in self.requests]
+        pos = bisect.bisect_right(starts, i) - 1
+        return self.requests[pos][1] if pos >= 0 else -1
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(blocks={len(self)}, instrs={self.n_instructions}, "
+            f"requests={len(self.requests)})"
+        )
+
+
+class TraceBuilder:
+    """Seeded interpreter for one application."""
+
+    def __init__(self, app: Application, seed: int = 1):
+        self.app = app
+        self.seed = seed
+
+    def build(self, n_requests: int) -> Trace:
+        if n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        app = self.app
+        rng = random.Random(self.seed)
+        binary = app.binary
+        tagged_set = app.program.tagged
+        trace = Trace()
+        pc_a = trace.pc
+        nin_a = trace.ninstr
+        kind_a = trace.kind
+        taken_a = trace.taken
+        tgt_a = trace.target
+        tag_a = trace.tagged
+
+        dispatch_names = set(app.dispatchers.values())
+        dispatcher_stage = {v: k for k, v in app.dispatchers.items()}
+        weights = app.request_weights
+        cum: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cum.append(acc)
+
+        main = binary.get("main")
+        # Call stack: (function, resume block index). Loop counters are
+        # per-frame dicts created lazily.
+        stack: List[Tuple[Function, int, Optional[dict]]] = []
+        func = main
+        idx = 0
+        loops: Optional[dict] = None
+        # Preheat prefix: the first requests cycle deterministically
+        # through every type so the measurement window (after the
+        # simulator's warmup fraction) sees a warmed server, mirroring
+        # the paper's 100M-instruction warmup.
+        n_types = len(weights)
+        preheat = n_types if n_requests > 2 * n_types else 0
+        request_type = 0 if preheat else self._draw_type(rng, cum)
+        requests_done = 0
+        switch_counts: dict = {}
+        trace.requests.append((0, request_type))
+        open_stage: Optional[Tuple[int, str]] = None
+        n_instr = 0
+        rand = rng.random
+
+        while True:
+            blk = func.blocks[idx]
+            pc = func.addr + blk.offset
+            nin = blk.ninstr
+            kind = blk.kind
+            term = pc + (nin - 1) * INSTR_BYTES
+            n_instr += nin
+            if kind == _COND:
+                if blk.loop_count:
+                    if loops is None:
+                        loops = {}
+                    remaining = loops.get(idx)
+                    if remaining is None:
+                        remaining = blk.loop_count
+                    remaining -= 1
+                    taken = remaining > 0
+                    loops[idx] = remaining if taken else None
+                    if not taken:
+                        loops.pop(idx, None)
+                else:
+                    taken = rand() < blk.taken_prob
+                nxt = blk.taken_next if taken else idx + 1
+                target = func.addr + func.blocks[nxt].offset
+                pc_a.append(pc); nin_a.append(nin); kind_a.append(_COND)
+                taken_a.append(1 if taken else 0); tgt_a.append(target)
+                tag_a.append(0)
+                idx = nxt
+            elif kind == _NONE:
+                target = func.addr + func.blocks[idx + 1].offset
+                pc_a.append(pc); nin_a.append(nin); kind_a.append(_NONE)
+                taken_a.append(0); tgt_a.append(target); tag_a.append(0)
+                idx += 1
+            elif kind == _CALL or kind == _ICALL:
+                if kind == _CALL:
+                    callee = binary.get(blk.callee)
+                else:
+                    chosen = None
+                    if blk.selector is not None:
+                        chosen = app.route_map[request_type].get(blk.selector)
+                    if chosen is None:
+                        # Per-execution switch.  During the preheat
+                        # prefix the variants rotate round-robin so the
+                        # warmup window touches all of them (the paper's
+                        # 100M-instruction warmup leaves no cold code).
+                        if requests_done < preheat:
+                            count = switch_counts.get(pc, 0)
+                            switch_counts[pc] = count + 1
+                            chosen = blk.targets[count % len(blk.targets)]
+                        else:
+                            chosen = blk.targets[
+                                int(rand() * len(blk.targets))
+                                % len(blk.targets)
+                            ]
+                    callee = binary.get(chosen)
+                target = callee.addr
+                is_tagged = 1 if term in tagged_set else 0
+                pc_a.append(pc); nin_a.append(nin); kind_a.append(kind)
+                taken_a.append(1); tgt_a.append(target); tag_a.append(is_tagged)
+                if kind == _CALL and callee.name in dispatch_names:
+                    open_stage = (len(pc_a), dispatcher_stage[callee.name])
+                stack.append((func, idx + 1, loops))
+                func = callee
+                idx = 0
+                loops = None
+            elif kind == _RET:
+                rfunc, ridx, rloops = stack.pop()
+                target = rfunc.addr + rfunc.blocks[ridx].offset
+                is_tagged = 1 if term in tagged_set else 0
+                pc_a.append(pc); nin_a.append(nin); kind_a.append(_RET)
+                taken_a.append(1); tgt_a.append(target); tag_a.append(is_tagged)
+                if rfunc is main and open_stage is not None:
+                    start, stage_name = open_stage
+                    trace.stage_spans.append(
+                        (start, len(pc_a), stage_name, request_type)
+                    )
+                    open_stage = None
+                func, idx, loops = rfunc, ridx, rloops
+            elif kind == _JUMP:
+                nxt = blk.taken_next
+                target = func.addr + func.blocks[nxt].offset
+                pc_a.append(pc); nin_a.append(nin); kind_a.append(_JUMP)
+                taken_a.append(1); tgt_a.append(target); tag_a.append(0)
+                idx = nxt
+                if func is main and nxt == 0:
+                    requests_done += 1
+                    if requests_done >= n_requests:
+                        break
+                    if requests_done < preheat:
+                        request_type = requests_done % n_types
+                    else:
+                        request_type = self._draw_type(rng, cum)
+                    trace.requests.append((len(pc_a), request_type))
+            elif kind == _IJUMP:
+                nxt = blk.itargets[int(rand() * len(blk.itargets))
+                                   % len(blk.itargets)]
+                target = func.addr + func.blocks[nxt].offset
+                pc_a.append(pc); nin_a.append(nin); kind_a.append(_IJUMP)
+                taken_a.append(1); tgt_a.append(target); tag_a.append(0)
+                idx = nxt
+            else:
+                raise ValueError(f"unhandled kind {kind}")
+        trace.n_instructions = n_instr
+        return trace
+
+    @staticmethod
+    def _draw_type(rng: random.Random, cum: List[float]) -> int:
+        x = rng.random()
+        return bisect.bisect_left(cum, x)

@@ -1,0 +1,63 @@
+"""Shared fixtures: micro applications and hand-built traces.
+
+The suite workloads are too large for unit tests, so most tests run on
+a *micro* application (two stages, tiny routines) or on hand-assembled
+traces from :mod:`tests.helpers`.
+"""
+
+import pytest
+
+from repro.cpu import MachineConfig
+from repro.workloads.appmodel import AppParams, StageSpec
+from repro.workloads.generator import build_app
+
+
+def micro_machine() -> MachineConfig:
+    """Caches scaled down so the micro app's ~100 KB working set behaves
+    like a server working set against Table-1 caches."""
+    return MachineConfig().replace(**{
+        "hierarchy.l1i_bytes": 8 * 1024,
+        "hierarchy.l2_bytes": 32 * 1024,
+        "hierarchy.llc_bytes": 256 * 1024,
+    })
+
+
+@pytest.fixture(scope="session")
+def micro_cfg():
+    return micro_machine()
+
+
+def micro_params(seed: int = 7, **overrides) -> AppParams:
+    """A tiny but structurally complete application parameter set."""
+    params = AppParams(
+        name="micro",
+        seed=seed,
+        stages=[
+            StageSpec("alpha", 2, 5.0, shared_frac=0.3),
+            StageSpec("beta", 3, 6.0, shared_frac=0.3, skip_prob=0.2),
+        ],
+        n_request_types=3,
+        shared_pool_kb=12.0,
+        hot_pool_kb=3.0,
+        cold_func_frac=0.5,
+        bundle_threshold=6 * 1024,
+        base_requests=10,
+    )
+    for key, value in overrides.items():
+        setattr(params, key, value)
+    return params
+
+
+@pytest.fixture(scope="session")
+def micro_app():
+    return build_app(micro_params())
+
+
+@pytest.fixture(scope="session")
+def micro_trace(micro_app):
+    return micro_app.trace(n_requests=12, seed=3)
+
+
+@pytest.fixture(scope="session")
+def micro_trace_long(micro_app):
+    return micro_app.trace(n_requests=40, seed=3)

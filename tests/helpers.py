@@ -1,0 +1,85 @@
+"""Hand-built trace assembly for deterministic unit tests."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instructions import BranchKind
+from repro.workloads.trace import Trace
+
+_FALLTHROUGH_KINDS = (BranchKind.NONE, BranchKind.COND)
+
+
+class TraceAssembler:
+    """Builds a consistent Trace record by record.
+
+    Each ``add`` appends one basic block; ``target`` defaults to the
+    fall-through address.  The assembler checks nothing clever — it just
+    keeps pc/target bookkeeping consistent so simulator tests stay
+    readable.
+    """
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def add(
+        self,
+        pc: int,
+        ninstr: int = 4,
+        kind=BranchKind.NONE,
+        taken: bool = False,
+        target: Optional[int] = None,
+        tagged: bool = False,
+    ) -> "TraceAssembler":
+        if isinstance(kind, str):
+            kind = BranchKind[kind]
+        if target is None:
+            target = pc + ninstr * 4
+        t = self.trace
+        t.pc.append(pc)
+        t.ninstr.append(ninstr)
+        t.kind.append(int(kind))
+        t.taken.append(1 if taken else 0)
+        t.target.append(target)
+        t.tagged.append(1 if tagged else 0)
+        t.n_instructions += ninstr
+        return self
+
+    def linear(self, start: int, n_blocks: int, ninstr: int = 4
+               ) -> "TraceAssembler":
+        """Append ``n_blocks`` sequential fall-through blocks."""
+        pc = start
+        for _ in range(n_blocks):
+            self.add(pc, ninstr)
+            pc += ninstr * 4
+        return self
+
+    def loop_over(self, start: int, n_blocks: int, repeats: int,
+                  ninstr: int = 4) -> "TraceAssembler":
+        """Append ``repeats`` passes over the same block sequence."""
+        for _ in range(repeats):
+            pc = start
+            for b in range(n_blocks):
+                last = b == n_blocks - 1
+                if last:
+                    self.add(pc, ninstr, BranchKind.JUMP, taken=True,
+                             target=start)
+                else:
+                    self.add(pc, ninstr)
+                pc += ninstr * 4
+        return self
+
+    def build(self) -> Trace:
+        if not self.trace.requests:
+            self.trace.requests.append((0, 0))
+        return self.trace
+
+
+def linear_trace(n_blocks: int = 64, start: int = 0x400000,
+                 ninstr: int = 4) -> Trace:
+    return TraceAssembler().linear(start, n_blocks, ninstr).build()
+
+
+def looping_trace(n_blocks: int = 32, repeats: int = 8,
+                  start: int = 0x400000) -> Trace:
+    return TraceAssembler().loop_over(start, n_blocks, repeats).build()

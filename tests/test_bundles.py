@@ -1,0 +1,121 @@
+"""Unit tests for Algorithm 1 (Bundle entry-point identification)."""
+
+import pytest
+
+from repro.callgraph import CallGraph
+from repro.core.bundles import get_bundle_entries, identify_bundles
+
+
+def build_graph(spec):
+    """spec: {name: (size, [callees])}."""
+    g = CallGraph()
+    for name, (size, _) in spec.items():
+        g.add_node(name, size)
+    for name, (_, callees) in spec.items():
+        for callee in callees:
+            g.add_edge(name, callee)
+    return g
+
+
+KB = 1024
+
+
+class TestAlgorithm1:
+    def test_paper_figure5_example(self):
+        # Figure 5a shape (values in KB, threshold 200): A's two paths B
+        # and C are both large divergent branches; D is large but barely
+        # smaller than its father C.
+        # Reachable: E1=250, B=400, E2=220, D=370, C=420, A=830.
+        # B: A-B = 430 > 200 and B >= 200 -> entry.
+        # C: A-C = 410 > 200 and C >= 200 -> entry.
+        # D: C-D = 50 < 200 -> not an entry despite its size.
+        # A: root above threshold -> entry.
+        g = build_graph({
+            "A": (10 * KB, ["B", "C"]),
+            "B": (150 * KB, ["E1"]),
+            "C": (50 * KB, ["D"]),
+            "D": (150 * KB, ["E2"]),
+            "E1": (250 * KB, []),
+            "E2": (220 * KB, []),
+        })
+        entries = get_bundle_entries(g, 200 * KB)
+        assert "A" in entries
+        assert "B" in entries
+        assert "C" in entries
+        assert "D" not in entries
+
+    def test_small_functions_never_entries(self):
+        g = build_graph({
+            "root": (500 * KB, ["leaf"]),
+            "leaf": (1 * KB, []),
+        })
+        entries = get_bundle_entries(g, 200 * KB)
+        assert "leaf" not in entries
+        assert "root" in entries  # root meeting the size requirement
+
+    def test_root_below_threshold_not_entry(self):
+        g = build_graph({"root": (10 * KB, [])})
+        assert get_bundle_entries(g, 200 * KB) == set()
+
+    def test_father_difference_must_exceed_threshold(self):
+        # child large, but father barely larger: no divergence.
+        g = build_graph({
+            "father": (5 * KB, ["child"]),
+            "child": (300 * KB, []),
+        })
+        entries = get_bundle_entries(g, 200 * KB)
+        assert "child" not in entries
+
+    def test_any_father_with_large_difference_suffices(self):
+        g = build_graph({
+            "big": (900 * KB, ["child"]),
+            "small": (1 * KB, ["child"]),
+            "child": (250 * KB, []),
+        })
+        entries = get_bundle_entries(g, 200 * KB)
+        assert "child" in entries
+
+    def test_threshold_must_be_positive(self):
+        g = build_graph({"a": (1, [])})
+        with pytest.raises(ValueError):
+            get_bundle_entries(g, 0)
+
+    def test_lower_threshold_never_removes_roots(self):
+        g = build_graph({
+            "root": (300 * KB, ["a"]),
+            "a": (100 * KB, []),
+        })
+        hi = get_bundle_entries(g, 250 * KB)
+        lo = get_bundle_entries(g, 50 * KB)
+        assert "root" in hi and "root" in lo
+
+
+class TestIdentifyBundles:
+    def test_report_fields(self, micro_app):
+        info = identify_bundles(
+            micro_app.binary, micro_app.params.bundle_threshold
+        )
+        assert info.n_functions == len(micro_app.binary)
+        assert 0 < info.n_bundles < info.n_functions
+        assert 0.0 < info.bundle_fraction < 1.0
+        assert set(info.entries) <= set(info.reachable)
+
+    def test_routine_roots_are_entries(self, micro_app):
+        info = identify_bundles(
+            micro_app.binary, micro_app.params.bundle_threshold
+        )
+        # The per-stage routine roots are the intended divergence points.
+        routine_roots = [
+            f"{stage.name}_r{r}_f0"
+            for stage in micro_app.params.stages
+            for r in range(stage.n_routines)
+        ]
+        tagged = [r for r in routine_roots if r in info.entries]
+        assert len(tagged) >= len(routine_roots) // 2
+
+    def test_fraction_small(self, micro_app):
+        info = identify_bundles(
+            micro_app.binary, micro_app.params.bundle_threshold
+        )
+        # Table 4: only a few percent of functions are Bundle entries.
+        assert info.bundle_fraction < 0.15

@@ -1,0 +1,129 @@
+"""Unit tests for call-graph construction and reachable sizes."""
+
+import pytest
+
+from repro.callgraph import (
+    CallGraph,
+    build_call_graph,
+    reachable_sets,
+    reachable_sizes,
+)
+from repro.callgraph.reachable import strongly_connected_components
+
+
+class FakeFunc:
+    """Duck-typed function-like object for graph building."""
+
+    def __init__(self, name, size, callees=()):
+        self.name = name
+        self.size = size
+        self._callees = list(callees)
+
+    def static_callees(self):
+        return list(self._callees)
+
+
+def graph_of(spec):
+    """spec: {name: (size, [callees])}."""
+    return build_call_graph(
+        FakeFunc(n, s, cs) for n, (s, cs) in spec.items()
+    )
+
+
+class TestCallGraph:
+    def test_build_nodes_edges(self):
+        g = graph_of({"a": (10, ["b"]), "b": (20, [])})
+        assert g.sizes == {"a": 10, "b": 20}
+        assert g.callees("a") == {"b"}
+        assert g.callers("b") == {"a"}
+
+    def test_duplicate_edges_collapse(self):
+        g = graph_of({"a": (10, ["b", "b", "b"]), "b": (20, [])})
+        assert g.edge_count() == 1
+
+    def test_roots(self):
+        g = graph_of({"a": (1, ["b"]), "b": (1, []), "c": (1, [])})
+        assert sorted(g.roots()) == ["a", "c"]
+
+    def test_edge_to_unknown_callee_raises(self):
+        g = CallGraph()
+        g.add_node("a", 1)
+        with pytest.raises(KeyError):
+            g.add_edge("a", "ghost")
+
+    def test_negative_size_rejected(self):
+        g = CallGraph()
+        with pytest.raises(ValueError):
+            g.add_node("a", -5)
+
+
+class TestSCC:
+    def test_acyclic_all_singletons(self):
+        g = graph_of({"a": (1, ["b", "c"]), "b": (1, []), "c": (1, [])})
+        sccs = strongly_connected_components(g)
+        assert sorted(len(s) for s in sccs) == [1, 1, 1]
+
+    def test_cycle_groups(self):
+        g = graph_of({
+            "a": (1, ["b"]), "b": (1, ["c"]), "c": (1, ["a"]),
+            "d": (1, ["a"]),
+        })
+        sccs = strongly_connected_components(g)
+        sizes = sorted(len(s) for s in sccs)
+        assert sizes == [1, 3]
+
+
+class TestReachableSizes:
+    def test_linear_chain(self):
+        g = graph_of({"a": (10, ["b"]), "b": (20, ["c"]), "c": (30, [])})
+        r = reachable_sizes(g)
+        assert r == {"a": 60, "b": 50, "c": 30}
+
+    def test_diamond_counts_shared_once(self):
+        # a -> b, a -> c, b -> d, c -> d: d counted once from a.
+        g = graph_of({
+            "a": (1, ["b", "c"]), "b": (2, ["d"]),
+            "c": (4, ["d"]), "d": (8, []),
+        })
+        r = reachable_sizes(g)
+        assert r["a"] == 15
+        assert r["b"] == 10
+        assert r["c"] == 12
+
+    def test_recursion_cycle(self):
+        g = graph_of({"a": (5, ["b"]), "b": (7, ["a"])})
+        r = reachable_sizes(g)
+        assert r["a"] == 12
+        assert r["b"] == 12
+
+    def test_self_recursion(self):
+        g = graph_of({"a": (5, ["a"])})
+        assert reachable_sizes(g) == {"a": 5}
+
+    def test_empty_graph(self):
+        assert reachable_sizes(CallGraph()) == {}
+
+    def test_matches_reachable_sets(self):
+        g = graph_of({
+            "a": (1, ["b", "c"]), "b": (2, ["d", "e"]),
+            "c": (4, ["e"]), "d": (8, []), "e": (16, ["d"]),
+        })
+        sizes = reachable_sizes(g)
+        sets = reachable_sets(g)
+        for name, reached in sets.items():
+            assert sizes[name] == sum(g.sizes[m] for m in reached)
+
+    def test_reachable_sets_include_self(self):
+        g = graph_of({"a": (1, []), "b": (1, ["a"])})
+        sets = reachable_sets(g)
+        assert "a" in sets["a"]
+        assert sets["b"] == frozenset({"a", "b"})
+
+    def test_matches_on_micro_app(self, micro_app):
+        # Cross-check the bitset DP against the exact set expansion on a
+        # real generated binary (a few hundred functions).
+        g = build_call_graph(micro_app.binary)
+        sizes = reachable_sizes(g)
+        sets = reachable_sets(g)
+        for name in list(g.nodes)[::17]:  # sample
+            assert sizes[name] == sum(g.sizes[m] for m in sets[name])

@@ -1,0 +1,44 @@
+"""CLI `compare` and `run` flows end to end (tiny scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "beego"])
+        assert args.prefetchers == ["efetch", "mana", "eip",
+                                    "hierarchical"]
+        assert args.scale == "bench"
+        assert not args.perfect
+
+    def test_run_prefetcher_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "beego",
+                                       "--prefetcher", "ghost"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "beego", "--scale", "huge"])
+
+
+class TestCompareFlow:
+    def test_compare_single_prefetcher(self, capsys):
+        rc = main(["compare", "mysql_sibench", "--scale", "tiny",
+                   "--prefetchers", "eip"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eip" in out
+        assert "speedup" in out
+
+    def test_run_with_hp(self, capsys):
+        rc = main(["run", "mysql_sibench", "--scale", "tiny",
+                   "--prefetcher", "hierarchical"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hierarchical" in out

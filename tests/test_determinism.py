@@ -1,0 +1,77 @@
+"""Determinism guarantees across the whole stack.
+
+Reproducibility is a design contract (DESIGN.md): identical inputs must
+produce byte-identical binaries, traces and cycle counts — across
+process lifetimes, not just within one (no reliance on hash
+randomization or id()s).
+"""
+
+import hashlib
+
+from repro.cpu import simulate
+from repro.prefetchers import make_prefetcher
+from repro.workloads.generator import build_app
+from tests.conftest import micro_params
+
+
+def _binary_digest(binary) -> str:
+    h = hashlib.sha256()
+    for func in binary:
+        h.update(func.name.encode())
+        h.update(func.addr.to_bytes(8, "little"))
+        for blk in func.blocks:
+            h.update(bytes([blk.ninstr & 0xFF, int(blk.kind)]))
+            h.update(str(blk.callee).encode())
+            h.update(str(blk.targets).encode())
+            h.update(f"{blk.taken_prob:.6f}".encode())
+            h.update(blk.taken_next.to_bytes(4, "little", signed=True))
+            h.update(blk.loop_count.to_bytes(2, "little"))
+    return h.hexdigest()
+
+
+def _trace_digest(trace) -> str:
+    h = hashlib.sha256()
+    for arr in (trace.pc, trace.ninstr, trace.kind, trace.taken,
+                trace.target, trace.tagged):
+        h.update(str(arr).encode())
+    return h.hexdigest()
+
+
+class TestDeterminism:
+    def test_binary_digest_stable(self):
+        a = build_app(micro_params())
+        b = build_app(micro_params())
+        assert _binary_digest(a.binary) == _binary_digest(b.binary)
+
+    def test_trace_digest_stable(self):
+        app = build_app(micro_params())
+        t1 = app.trace(6, seed=9)
+        t2 = app.trace(6, seed=9)
+        assert _trace_digest(t1) == _trace_digest(t2)
+
+    def test_link_result_stable(self):
+        a = build_app(micro_params())
+        b = build_app(micro_params())
+        assert a.program.tagged == b.program.tagged
+        assert (a.program.link_result.entry_addrs
+                == b.program.link_result.entry_addrs)
+
+    def test_full_pipeline_cycle_exact(self):
+        app_a = build_app(micro_params())
+        app_b = build_app(micro_params())
+        trace_a = app_a.trace(8, seed=4)
+        trace_b = app_b.trace(8, seed=4)
+        for name in (None, "hierarchical", "eip"):
+            pf_a = make_prefetcher(name) if name else None
+            pf_b = make_prefetcher(name) if name else None
+            sa = simulate(trace_a, prefetcher=pf_a)
+            sb = simulate(trace_b, prefetcher=pf_b)
+            assert sa.cycles == sb.cycles, name
+            assert sa.l1i_misses == sb.l1i_misses, name
+            assert sa.pf_issued == sb.pf_issued, name
+
+    def test_route_maps_stable(self):
+        a = build_app(micro_params())
+        b = build_app(micro_params())
+        assert a.route_map == b.route_map
+        assert a.request_weights == b.request_weights

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least compile and expose a ``main``; the cheapest
+one runs end-to-end against a saved micro trace via the CLI-equivalent
+API so the documented flows cannot rot silently.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_present(self):
+        names = {p.name for p in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES,
+                             ids=[p.stem for p in EXAMPLE_FILES])
+    def test_example_importable_with_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), path.name
+        assert module.__doc__, f"{path.name} needs a module docstring"
+
+    def test_custom_prefetcher_class_works(self, micro_trace, micro_cfg):
+        from repro.cpu import simulate
+
+        module = _load(EXAMPLES_DIR / "custom_prefetcher.py")
+        pf = module.NextLinesPrefetcher(depth=2)
+        stats = simulate(micro_trace, config=micro_cfg, prefetcher=pf)
+        assert stats.pf_issued[2] > 0
+
+    def test_custom_prefetcher_validates_depth(self):
+        module = _load(EXAMPLES_DIR / "custom_prefetcher.py")
+        with pytest.raises(ValueError):
+            module.NextLinesPrefetcher(depth=0)

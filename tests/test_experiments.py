@@ -1,0 +1,232 @@
+"""Tests for the experiment harness (runner, figures, tables).
+
+These run at 'tiny' scale on the smallest suite workload — slow-ish
+integration tests, but they guard the full benchmark pipeline.
+"""
+
+import pytest
+
+from repro.analysis.metrics import PrefetchReport
+from repro.experiments import (
+    clear_run_cache,
+    compare_all,
+    run_baseline,
+    run_prefetcher,
+)
+from repro.experiments.runner import perfect_l1i_speedup
+
+WORKLOAD = "mysql_sibench"
+
+
+class TestRunner:
+    def test_baseline_cached(self):
+        a, _ = run_baseline(WORKLOAD, scale="tiny")
+        b, _ = run_baseline(WORKLOAD, scale="tiny")
+        assert a is b
+
+    def test_distinct_keys_not_shared(self):
+        a, _ = run_baseline(WORKLOAD, scale="tiny")
+        b, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        assert a is not b
+
+    def test_overrides_applied(self):
+        a, _ = run_baseline(WORKLOAD, scale="tiny")
+        b, _ = run_baseline(
+            WORKLOAD, scale="tiny",
+            overrides={"hierarchy.perfect_l1i": True},
+        )
+        assert b.l1i_misses == 0
+        assert a.l1i_misses > 0
+
+    def test_track_block_misses_returns_map(self):
+        _, miss_map = run_baseline(
+            WORKLOAD, scale="tiny", track_block_misses=True
+        )
+        assert isinstance(miss_map, dict)
+
+    def test_compare_all_reports(self):
+        reports = compare_all(WORKLOAD, prefetchers=("eip",), scale="tiny")
+        assert set(reports) == {"eip"}
+        assert isinstance(reports["eip"], PrefetchReport)
+
+    def test_perfect_l1i_positive(self):
+        assert perfect_l1i_speedup(WORKLOAD, scale="tiny") > 0.0
+
+    def test_clear_cache(self):
+        a, _ = run_baseline(WORKLOAD, scale="tiny")
+        clear_run_cache()
+        b, _ = run_baseline(WORKLOAD, scale="tiny")
+        assert a is not b
+        assert a.cycles == b.cycles  # still deterministic
+
+
+class TestFigures:
+    def test_fig01_footprints(self):
+        from repro.experiments.figures import fig01_stage_footprints
+
+        fps = fig01_stage_footprints(WORKLOAD, scale="tiny")
+        assert set(fps) == {"read", "dispatch", "compile", "exec", "finish"}
+        assert all(v > 0 for v in fps.values())
+
+    def test_fig03_tradeoff(self):
+        from repro.experiments.figures import fig03_distance_tradeoff
+
+        out = fig03_distance_tradeoff(workloads=(WORKLOAD,), scale="tiny")
+        assert set(out) == {"efetch", "mana", "eip"}
+        for dist, acc, cov in out.values():
+            assert dist >= 0.0
+            assert 0.0 <= acc <= 1.0
+
+    def test_fig09_speedups(self):
+        from repro.experiments.figures import fig09_speedups
+
+        out = fig09_speedups(workloads=(WORKLOAD,), scale="tiny")
+        row = out[WORKLOAD]
+        assert set(row) == {
+            "efetch", "mana", "eip", "hierarchical", "perfect_l1i",
+        }
+
+    def test_fig16_bandwidth(self):
+        from repro.experiments.figures import fig16_bandwidth
+
+        out = fig16_bandwidth(workloads=(WORKLOAD,), scale="tiny")
+        row = out[WORKLOAD]
+        assert "overhead" in row and "metadata_fraction" in row
+        assert 0.0 <= row["metadata_fraction"] <= 1.0
+
+    def test_fig17_l2(self):
+        from repro.experiments.figures import fig17_l2_prefetch
+
+        out = fig17_l2_prefetch(workloads=(WORKLOAD,), scale="tiny")
+        assert set(out[WORKLOAD]) == {"l1", "l2"}
+
+
+class TestTables:
+    def test_tab02(self):
+        from repro.experiments.tables import tab02_distance_accuracy_coverage
+
+        out = tab02_distance_accuracy_coverage(
+            workloads=(WORKLOAD,), scale="tiny"
+        )
+        assert set(out) == {"efetch", "mana", "eip", "hierarchical"}
+        for row in out.values():
+            assert {"distance", "accuracy",
+                    "coverage_l1", "coverage_l2"} == set(row)
+
+    def test_tab04(self):
+        from repro.experiments.tables import tab04_bundle_stats
+
+        out = tab04_bundle_stats(workloads=(WORKLOAD,), scale="tiny")
+        row = out[WORKLOAD]
+        assert row["static_bundles"] > 0
+        assert row["total_functions"] > row["static_bundles"]
+        assert 0.0 < row["avg_jaccard"] <= 1.0
+
+
+class TestAblations:
+    def test_record_policy(self):
+        from repro.experiments.ablations import ablation_record_policy
+
+        out = ablation_record_policy(workloads=(WORKLOAD,), scale="tiny")
+        assert set(out) == {"supersede", "keep_first"}
+
+    def test_pacing(self):
+        from repro.experiments.ablations import ablation_pacing
+
+        out = ablation_pacing(workloads=(WORKLOAD,), scale="tiny")
+        assert set(out) == {"paced", "all_at_once"}
+
+
+class TestMoreFigures:
+    def test_fig02_mana(self):
+        from repro.experiments.figures import fig02_mana_lookahead
+
+        out = fig02_mana_lookahead(lookaheads=(1, 3),
+                                   workloads=(WORKLOAD,), scale="tiny")
+        assert [la for la, _, _ in out] == [1, 3]
+        for _, acc, cov in out:
+            assert 0.0 <= acc <= 1.0
+            assert -1.0 <= cov <= 1.0
+
+    def test_fig02_efetch(self):
+        from repro.experiments.figures import fig02_efetch_lookahead
+
+        out = fig02_efetch_lookahead(lookaheads=(1, 2),
+                                     workloads=(WORKLOAD,), scale="tiny")
+        assert len(out) == 2
+
+    def test_fig04(self):
+        from repro.experiments.figures import fig04_trigger_jaccard
+
+        out = fig04_trigger_jaccard(footprint_sizes=(16, 64),
+                                    workloads=(WORKLOAD,), scale="tiny")
+        assert set(out) == {"efetch", "mana", "eip"}
+        assert all(len(series) == 2 for series in out.values())
+
+    def test_fig10(self):
+        from repro.experiments.figures import fig10_late_prefetches
+
+        out = fig10_late_prefetches(workloads=(WORKLOAD,), scale="tiny")
+        for value in out[WORKLOAD].values():
+            assert 0.0 <= value <= 1.0
+
+    def test_fig11(self):
+        from repro.experiments.figures import fig11_miss_latency
+
+        out = fig11_miss_latency(workloads=(WORKLOAD,), scale="tiny")
+        base_total = sum(out[WORKLOAD]["fdip"].values())
+        assert base_total == pytest.approx(1.0)
+
+    def test_fig12(self):
+        from repro.experiments.figures import fig12_long_range
+
+        out = fig12_long_range(workloads=(WORKLOAD,), scale="tiny")
+        for value in out[WORKLOAD].values():
+            assert 0.0 <= value <= 1.0
+
+    def test_fig14(self):
+        from repro.experiments.figures import fig14_infinite_btb
+
+        out = fig14_infinite_btb(workloads=(WORKLOAD,), scale="tiny")
+        assert set(out[WORKLOAD]) == {"efetch", "mana", "eip",
+                                      "hierarchical"}
+
+    def test_fig15_ftq_normalized_at_24(self):
+        from repro.experiments.figures import fig15_ftq
+
+        out = fig15_ftq(sizes=(16, 24), workloads=(WORKLOAD,),
+                        scale="tiny")
+        values = dict(out)
+        assert values[24] == pytest.approx(1.0)
+
+    def test_fig15_itlb(self):
+        from repro.experiments.figures import fig15_itlb
+
+        out = fig15_itlb(sizes=(64,), workloads=(WORKLOAD,), scale="tiny")
+        (size, base_ipc, hp_ipc), = out
+        assert size == 64
+        assert base_ipc > 0 and hp_ipc > 0
+
+    def test_fig13(self):
+        from repro.experiments.figures import fig13_metadata_sensitivity
+
+        out = fig13_metadata_sensitivity(
+            mat_sizes=(64,), buffer_kb=(64,), workloads=(WORKLOAD,),
+            scale="tiny",
+        )
+        assert len(out["mat"]) == 1
+        assert len(out["buffer"]) == 1
+
+    def test_tab03(self):
+        from repro.experiments.tables import tab03_l1i_sensitivity
+
+        rows = tab03_l1i_sensitivity(sizes_kb=(32,),
+                                     workloads=(WORKLOAD,), scale="tiny")
+        assert len(rows) == 4  # one per prefetcher
+
+    def test_ablation_initial_segments(self):
+        from repro.experiments.ablations import ablation_initial_segments
+
+        out = ablation_initial_segments(workloads=(WORKLOAD,),
+                                        scale="tiny", values=(1, 2))
+        assert [n for n, _ in out] == [1, 2]

@@ -1,0 +1,248 @@
+"""Tests for the extension features: RDIP, multi-core shared metadata,
+trace serialization, miss-ratio curves, and the CLI."""
+
+import pytest
+
+from repro.cpu import simulate
+from repro.memory.cache import ORIGIN_PF
+from repro.prefetchers import RDIPPrefetcher, make_prefetcher
+from tests.conftest import micro_machine
+
+
+class TestRDIP:
+    def test_registered(self):
+        assert isinstance(make_prefetcher("rdip"), RDIPPrefetcher)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            RDIPPrefetcher(signature_depth=0)
+
+    def test_issues_on_recurring_context(self, micro_trace):
+        stats = simulate(micro_trace, prefetcher=RDIPPrefetcher())
+        attempts = stats.pf_issued[ORIGIN_PF] + stats.pf_redundant[ORIGIN_PF]
+        assert attempts > 0
+        assert "rdip_table_entries" in stats.extra
+
+    def test_covers_misses(self, micro_trace_long, micro_cfg):
+        base = simulate(micro_trace_long, config=micro_cfg)
+        rdip = simulate(micro_trace_long, config=micro_cfg,
+                        prefetcher=RDIPPrefetcher())
+        assert rdip.l1i_misses < base.l1i_misses
+
+    def test_miss_cap_respected(self, micro_trace):
+        pf = RDIPPrefetcher(max_misses_per_signature=2)
+        simulate(micro_trace, prefetcher=pf)
+        assert all(len(v) <= 2 for v in pf._table.values())
+
+
+class TestSharedMetadata:
+    @pytest.fixture(scope="class")
+    def result(self, micro_app):
+        from repro.cpu.multicore import simulate_shared
+
+        traces = [micro_app.trace(12, seed=s) for s in (1, 2, 3)]
+        return simulate_shared(traces, config=micro_machine())
+
+    def test_needs_two_cores(self, micro_app):
+        from repro.cpu.multicore import simulate_shared
+
+        with pytest.raises(ValueError):
+            simulate_shared([micro_app.trace(4, seed=1)])
+
+    def test_recorder_index_validated(self):
+        from repro.cpu.multicore import make_shared_group
+
+        with pytest.raises(ValueError):
+            make_shared_group(2, recorder=5)
+
+    def test_all_cores_simulated(self, result):
+        assert result.n_cores == 3
+        assert all(s.instructions > 0 for s in result.core_stats)
+
+    def test_replay_only_cores_benefit(self, result):
+        # The paper's premise: one core's history covers the others'
+        # control flow.  Replay-only cores must eliminate misses.
+        for core in range(1, 3):
+            assert result.coverage(core) > 0.1
+
+    def test_shared_structures_are_shared(self):
+        from repro.cpu.multicore import make_shared_group
+
+        group = make_shared_group(3)
+        assert group[0].shared_mat is group[1].shared_mat
+        assert group[1].shared_buffer is group[2].shared_buffer
+        assert group[0].record_enabled
+        assert not group[1].record_enabled
+
+
+class TestSerialization:
+    def test_roundtrip_identical(self, micro_trace, tmp_path):
+        from repro.workloads.serialization import load_trace, save_trace
+
+        path = tmp_path / "trace.npz"
+        save_trace(micro_trace, path)
+        loaded = load_trace(path)
+        assert loaded.pc == micro_trace.pc
+        assert loaded.kind == micro_trace.kind
+        assert loaded.taken == micro_trace.taken
+        assert loaded.tagged == micro_trace.tagged
+        assert loaded.requests == micro_trace.requests
+        assert loaded.stage_spans == micro_trace.stage_spans
+        assert loaded.n_instructions == micro_trace.n_instructions
+
+    def test_simulation_equivalence(self, micro_trace, tmp_path):
+        from repro.workloads.serialization import load_trace, save_trace
+
+        path = tmp_path / "trace.npz"
+        save_trace(micro_trace, path)
+        loaded = load_trace(path)
+        a = simulate(micro_trace)
+        b = simulate(loaded)
+        assert a.cycles == b.cycles
+        assert a.l1i_misses == b.l1i_misses
+
+    def test_version_check(self, micro_trace, tmp_path):
+        import numpy as np
+
+        from repro.workloads.serialization import load_trace, save_trace
+
+        path = tmp_path / "trace.npz"
+        save_trace(micro_trace, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["meta"] = np.array('{"version": 999, "n_instructions": 0}')
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestMissRatioCurves:
+    def test_monotone_nonincreasing(self, micro_trace):
+        from repro.analysis.mrc import miss_ratio_curve
+
+        curve = miss_ratio_curve(micro_trace, [64, 256, 1024, 4096])
+        ratios = [r for _, r in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+
+    def test_huge_cache_only_cold_misses(self, micro_trace):
+        from repro.analysis.mrc import (
+            miss_ratio_curve,
+            stack_distance_histogram,
+        )
+
+        hist, cold = stack_distance_histogram(micro_trace)
+        total = sum(hist) + cold
+        (capacity, ratio), = miss_ratio_curve(micro_trace, [1 << 22])
+        assert ratio == pytest.approx(cold / total)
+
+    def test_rejects_bad_capacity(self, micro_trace):
+        from repro.analysis.mrc import miss_ratio_curve
+
+        with pytest.raises(ValueError):
+            miss_ratio_curve(micro_trace, [0])
+
+    def test_working_set(self, micro_trace):
+        from repro.analysis.mrc import working_set_blocks
+
+        ws90 = working_set_blocks(micro_trace, 0.90)
+        ws99 = working_set_blocks(micro_trace, 0.99)
+        assert 1 <= ws90 <= ws99
+
+    def test_working_set_target_validated(self, micro_trace):
+        from repro.analysis.mrc import working_set_blocks
+
+        with pytest.raises(ValueError):
+            working_set_blocks(micro_trace, 1.5)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tidb_tpcc" in out
+        assert "hierarchical" in out
+
+    def test_bundles(self, capsys):
+        from repro.cli import main
+
+        assert main(["bundles", "mysql_sibench", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Bundle entries" in out
+
+    def test_run_baseline_only(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "mysql_sibench", "--prefetcher", "fdip",
+                     "--scale", "tiny"]) == 0
+        assert "FDIP baseline" in capsys.readouterr().out
+
+    def test_trace_and_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = str(tmp_path / "t.npz")
+        assert main(["trace", "mysql_sibench", "-o", out_file,
+                     "--scale", "tiny"]) == 0
+        assert main(["replay", out_file, "--prefetcher", "fdip"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_unknown_workload_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "redis"])
+
+
+class TestPIF:
+    def test_registered(self):
+        from repro.prefetchers import PIFPrefetcher
+
+        pf = make_prefetcher("pif")
+        assert isinstance(pf, PIFPrefetcher)
+        assert pf.name == "pif"
+
+    def test_bigger_budget_than_mana(self):
+        from repro.prefetchers import ManaPrefetcher, PIFPrefetcher
+
+        pif = PIFPrefetcher()
+        mana = ManaPrefetcher()
+        assert pif.index_entries > mana.index_entries
+        assert pif.storage_bytes() > 100 * 1024  # ~paper's 200 KB class
+
+    def test_covers_at_least_as_much_as_mana(self, micro_trace_long,
+                                             micro_cfg):
+        from repro.prefetchers import ManaPrefetcher, PIFPrefetcher
+
+        base = simulate(micro_trace_long, config=micro_cfg)
+        mana = simulate(micro_trace_long, config=micro_cfg,
+                        prefetcher=ManaPrefetcher())
+        pif = simulate(micro_trace_long, config=micro_cfg,
+                       prefetcher=PIFPrefetcher())
+        mana_cov = base.l1i_misses - mana.l1i_misses
+        pif_cov = base.l1i_misses - pif.l1i_misses
+        assert pif_cov >= mana_cov * 0.8
+
+
+class TestCharacterize:
+    def test_profile_fields(self, micro_app, micro_trace):
+        from repro.workloads.characterize import characterize
+
+        profile = characterize(micro_app, micro_trace)
+        assert profile.n_functions == len(micro_app.binary)
+        assert profile.executed_ws_kb > 0
+        assert profile.ws95_kb <= profile.executed_ws_kb + 1
+        assert 0.0 < profile.bundle_jaccard <= 1.0
+        assert profile.reuse_p50 <= profile.reuse_p90
+        assert set(profile.stage_footprints_kb) == {"alpha", "beta"}
+        assert len(profile.rows()) == 10
+
+    def test_cli_characterize(self, capsys):
+        from repro.cli import main
+
+        assert main(["characterize", "mysql_sibench",
+                     "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "bundle Jaccard" in out

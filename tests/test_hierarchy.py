@@ -1,0 +1,205 @@
+"""Unit tests for the memory-hierarchy timing model."""
+
+import pytest
+
+from repro.cpu.stats import LEVEL_DRAM, LEVEL_L2, LEVEL_LLC, SimStats
+from repro.memory.cache import ORIGIN_FDIP, ORIGIN_PF
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+
+def make_hier(**kwargs):
+    stats = SimStats()
+    params = HierarchyParams(**kwargs)
+    return MemoryHierarchy(params, stats), stats
+
+
+class TestDemandPath:
+    def test_cold_miss_goes_to_dram(self):
+        h, s = make_hier()
+        stall = h.demand_fetch(100, now=0.0, commit_index=0)
+        assert stall == h.params.lat_dram
+        assert s.served_by[LEVEL_DRAM] == 1
+        assert s.l1i_misses == 1
+        assert s.l2_demand_misses == 1
+        assert s.dram_read_bytes == 64
+
+    def test_hit_after_fill(self):
+        h, s = make_hier()
+        h.demand_fetch(100, 0.0, 0)
+        assert h.demand_fetch(100, 10.0, 1) == 0.0
+        assert s.l1i_hits == 1
+
+    def test_l2_hit_latency(self):
+        h, s = make_hier(l1i_bytes=64 * 8)  # tiny L1: 8 blocks
+        h.demand_fetch(100, 0.0, 0)
+        # Evict 100 from L1 by filling its set (same set every 8 blocks
+        # with 1 set... tiny L1 has 1 set, 8 ways).
+        for b in range(8):
+            h.demand_fetch(200 + b, 0.0, 0)
+        stall = h.demand_fetch(100, 50.0, 1)
+        assert stall == h.params.lat_l2
+        assert s.served_by[LEVEL_L2] >= 1
+
+    def test_llc_hit_latency(self):
+        h, s = make_hier(l1i_bytes=64 * 8, l2_bytes=64 * 16 * 8)
+        h.demand_fetch(100, 0.0, 0)
+        # Push 100 out of L1 and L2 with many fills.
+        for b in range(300, 300 + 200):
+            h.demand_fetch(b, 0.0, 0)
+        stall = h.demand_fetch(100, 1e6, 1)
+        assert stall == h.params.lat_llc
+        assert s.served_by[LEVEL_LLC] >= 1
+
+    def test_perfect_l1i_never_stalls(self):
+        h, s = make_hier(perfect_l1i=True)
+        assert h.demand_fetch(1, 0.0, 0) == 0.0
+        assert s.l1i_misses == 0
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_after_latency(self):
+        h, s = make_hier()
+        assert h.prefetch(100, 0.0, ORIGIN_PF)
+        assert h.in_flight(100)
+        h.drain(h.params.lat_dram + 1.0)
+        assert not h.in_flight(100)
+        assert h.in_l1i(100)
+        assert s.pf_issued[ORIGIN_PF] == 1
+
+    def test_timely_prefetch_covers_demand(self):
+        h, s = make_hier()
+        h.prefetch(100, 0.0, ORIGIN_PF)
+        stall = h.demand_fetch(100, h.params.lat_dram + 5.0, 3)
+        assert stall == 0.0
+        assert s.covered[ORIGIN_PF] == 1
+        assert s.pf_useful[ORIGIN_PF] == 1
+        assert s.pf_late[ORIGIN_PF] == 0
+
+    def test_late_prefetch_partial_stall(self):
+        h, s = make_hier()
+        h.prefetch(100, 0.0, ORIGIN_PF)
+        stall = h.demand_fetch(100, 100.0, 1)
+        assert stall == pytest.approx(h.params.lat_dram - 100.0)
+        assert s.pf_late[ORIGIN_PF] == 1
+        assert s.l1i_misses == 1  # an MSHR hit still counts as a miss
+
+    def test_redundant_prefetch_filtered(self):
+        h, s = make_hier()
+        h.demand_fetch(100, 0.0, 0)
+        assert not h.prefetch(100, 1.0, ORIGIN_PF)
+        assert s.pf_redundant[ORIGIN_PF] == 1
+        h.prefetch(200, 1.0, ORIGIN_PF)
+        assert not h.prefetch(200, 1.0, ORIGIN_PF)  # already in flight
+        assert s.pf_redundant[ORIGIN_PF] == 2
+
+    def test_mshr_limit_queues(self):
+        h, s = make_hier(pf_mshrs=2)
+        for b in range(5):
+            h.prefetch(1000 + b, 0.0, ORIGIN_PF)
+        assert h.inflight_count() == 2
+        assert h.pending_count() == 3
+        h.drain(h.params.lat_dram + 1)
+        assert h.inflight_count() == 2  # next two issued
+
+    def test_queue_capacity_drops(self):
+        h, s = make_hier(pf_mshrs=1, pf_queue=2)
+        for b in range(6):
+            h.prefetch(1000 + b, 0.0, ORIGIN_PF)
+        assert s.pf_dropped[ORIGIN_PF] > 0
+
+    def test_useless_prefetch_counted_on_eviction(self):
+        h, s = make_hier(l1i_bytes=64 * 8)  # 1 set, 8 ways
+        h.prefetch(100, 0.0, ORIGIN_PF)
+        h.drain(h.params.lat_dram + 1)
+        for b in range(200, 209):  # evict everything
+            h.demand_fetch(b, 1e5, 0)
+        assert s.pf_useless[ORIGIN_PF] == 1
+
+    def test_prefetch_to_l2(self):
+        h, s = make_hier()
+        h.prefetch(100, 0.0, ORIGIN_PF, to_l2=True)
+        h.drain(h.params.lat_dram + 1)
+        assert not h.in_l1i(100)
+        assert h.l2.peek(100) is not None
+        stall = h.demand_fetch(100, 1e5, 1)
+        assert stall == h.params.lat_l2
+        assert s.covered_l2[ORIGIN_PF] == 1
+
+    def test_distance_uses_access_clock(self):
+        h, s = make_hier()
+        for b in range(10):  # advance the access clock
+            h.demand_fetch(b, 0.0, b)
+        h.prefetch(100, 0.0, ORIGIN_PF)
+        for b in range(10, 15):
+            h.demand_fetch(b, 1e4, b)
+        h.demand_fetch(100, 1e4, 15)
+        assert s.distance_n[ORIGIN_PF] == 1
+        # 5 demand accesses between issue and use, +1 for the use itself.
+        assert s.distance_sum[ORIGIN_PF] == 6
+
+    def test_extra_latency_delays_fill(self):
+        h, _ = make_hier()
+        h.prefetch(100, 0.0, ORIGIN_PF, extra_latency=100.0)
+        h.drain(h.params.lat_dram + 50.0)
+        assert h.in_flight(100)
+        h.drain(h.params.lat_dram + 101.0)
+        assert h.in_l1i(100)
+
+
+class TestMetadataTraffic:
+    def test_read_miss_hits_dram_then_llc(self):
+        h, s = make_hier()
+        lat1 = h.metadata_read(0, 6, 0.0)
+        assert lat1 == h.params.lat_dram
+        lat2 = h.metadata_read(0, 6, 10.0)
+        assert lat2 == h.params.lat_llc
+        assert s.metadata_read_bytes == 2 * 6 * 64
+
+    def test_write_marks_dirty_and_writes_back(self):
+        h, s = make_hier(llc_bytes=64 * 16 * 2)  # tiny LLC: 32 blocks
+        h.metadata_write(0, 2, 0.0)
+        assert s.metadata_write_bytes == 2 * 64
+        # Flood the LLC with demand fills to force dirty eviction.
+        for b in range(1000, 1200):
+            h.demand_fetch(b, 0.0, 0)
+        assert s.dram_write_bytes >= 2 * 64
+
+    def test_fdip_and_pf_accounted_separately(self):
+        h, s = make_hier()
+        h.prefetch(100, 0.0, ORIGIN_FDIP)
+        h.prefetch(200, 0.0, ORIGIN_PF)
+        assert s.pf_issued[ORIGIN_FDIP] == 1
+        assert s.pf_issued[ORIGIN_PF] == 1
+
+
+class TestUncoreTraffic:
+    def test_demand_beyond_l2_counts(self):
+        h, s = make_hier()
+        h.demand_fetch(100, 0.0, 0)  # DRAM fill
+        assert s.uncore_fill_bytes == 64
+        h.demand_fetch(100, 1.0, 1)  # L1 hit: no traffic
+        assert s.uncore_fill_bytes == 64
+
+    def test_l2_hit_adds_no_uncore_traffic(self):
+        h, s = make_hier(l1i_bytes=64 * 8)
+        h.demand_fetch(100, 0.0, 0)
+        before = s.uncore_fill_bytes
+        for b in range(200, 208):
+            h.demand_fetch(b, 0.0, 0)
+        h.demand_fetch(100, 1e4, 1)  # served by L2
+        after = s.uncore_fill_bytes
+        assert after - before == 8 * 64  # only the eviction refills
+
+    def test_prefetch_from_llc_counts(self):
+        h, s = make_hier()
+        h.demand_fetch(100, 0.0, 0)
+        h.l1i.invalidate(100)
+        h.l2.invalidate(100)
+        before = s.uncore_fill_bytes
+        h.prefetch(100, 10.0, ORIGIN_PF)  # sourced from the LLC
+        assert s.uncore_fill_bytes - before == 64
+
+    def test_memory_traffic_includes_metadata(self):
+        h, s = make_hier()
+        h.metadata_write(0, 2, 0.0)
+        assert s.memory_traffic_bytes >= s.metadata_bytes > 0

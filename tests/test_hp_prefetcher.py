@@ -1,0 +1,129 @@
+"""Integration tests for the Hierarchical Prefetcher on micro workloads."""
+
+import pytest
+
+from repro.core.prefetcher import HierarchicalPrefetcher, HPConfig
+from repro.cpu import simulate
+from repro.memory.cache import ORIGIN_PF
+
+
+class TestConfig:
+    def test_default_matches_paper(self):
+        cfg = HPConfig()
+        assert cfg.compression_entries == 16
+        assert cfg.mat_entries == 512
+        assert cfg.metadata_buffer_bytes == 512 * 1024
+        assert cfg.target_level == "l1"
+
+    def test_bad_target_level(self):
+        with pytest.raises(ValueError):
+            HierarchicalPrefetcher(HPConfig(target_level="l3"))
+
+
+class TestRecordReplayLifecycle:
+    def test_bundles_triggered_and_replayed(self, micro_trace):
+        pf = HierarchicalPrefetcher()
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert stats.extra["hp_bundles_triggered"] > 0
+        assert stats.extra["hp_replays_started"] > 0
+        # After warmup every recurring Bundle should hit in the MAT.
+        assert stats.extra["hp_mat_hit_rate"] > 0.8
+
+    def test_issues_useful_prefetches(self, micro_trace):
+        pf = HierarchicalPrefetcher()
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert stats.pf_issued[ORIGIN_PF] > 0
+        assert stats.pf_useful[ORIGIN_PF] > 0
+        assert stats.accuracy(ORIGIN_PF) > 0.3
+
+    def test_reduces_misses_and_latency(self, micro_trace_long, micro_cfg):
+        # At micro scale the IPC win is noisy (prefetch-queue contention
+        # competes with the small covered latencies), so assert the
+        # paper's structural claims: fewer demand misses and less total
+        # exposed miss latency (the Fig. 11 metric).
+        base = simulate(micro_trace_long, config=micro_cfg)
+        hp = simulate(micro_trace_long, config=micro_cfg,
+                      prefetcher=HierarchicalPrefetcher())
+        assert hp.l1i_misses < base.l1i_misses
+        assert (hp.exposed_latency["LLC"] + hp.exposed_latency["DRAM"]
+                < base.exposed_latency["LLC"] + base.exposed_latency["DRAM"])
+
+    def test_metadata_traffic_charged(self, micro_trace):
+        pf = HierarchicalPrefetcher()
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert stats.metadata_write_bytes > 0
+        assert stats.metadata_read_bytes > 0
+
+    def test_deterministic(self, micro_trace):
+        a = simulate(micro_trace, prefetcher=HierarchicalPrefetcher())
+        b = simulate(micro_trace, prefetcher=HierarchicalPrefetcher())
+        assert a.cycles == b.cycles
+        assert a.pf_issued[ORIGIN_PF] == b.pf_issued[ORIGIN_PF]
+
+    def test_large_distance(self, micro_trace_long):
+        """HP's bulk replay runs far ahead of fine-grained prefetchers."""
+        from repro.prefetchers import EFetchPrefetcher
+
+        hp = simulate(micro_trace_long, prefetcher=HierarchicalPrefetcher())
+        ef = simulate(micro_trace_long, prefetcher=EFetchPrefetcher())
+        if ef.distance_n[ORIGIN_PF]:
+            assert hp.avg_distance(ORIGIN_PF) > ef.avg_distance(ORIGIN_PF)
+
+
+class TestVariants:
+    def test_l2_target(self, micro_trace_long, micro_cfg):
+        pf = HierarchicalPrefetcher(HPConfig(target_level="l2"))
+        stats = simulate(micro_trace_long, config=micro_cfg, prefetcher=pf)
+        assert stats.pf_issued[ORIGIN_PF] > 0
+        # L2-directed prefetches cover at the L2, not the L1.
+        assert stats.covered_l2[ORIGIN_PF] > 0
+
+    def test_unpaced_mode(self, micro_trace):
+        pf = HierarchicalPrefetcher(HPConfig(paced=False))
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert stats.pf_issued[ORIGIN_PF] > 0
+
+    def test_no_supersede_mode(self, micro_trace):
+        pf = HierarchicalPrefetcher(HPConfig(supersede=False))
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert stats.pf_issued[ORIGIN_PF] > 0
+
+    def test_track_bundles(self, micro_trace):
+        pf = HierarchicalPrefetcher(HPConfig(track_bundles=True))
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert "hp_avg_footprint_kb" in stats.extra
+        assert "hp_avg_jaccard" in stats.extra
+        assert 0.0 < stats.extra["hp_avg_jaccard"] <= 1.0
+        assert "hp_avg_exec_cycles" in stats.extra
+
+    def test_tiny_mat_still_works(self, micro_trace):
+        pf = HierarchicalPrefetcher(HPConfig(mat_entries=8, mat_assoc=2))
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert stats.extra["hp_bundles_triggered"] > 0
+
+    def test_tiny_metadata_buffer_reclaims(self, micro_trace):
+        from repro.core.metadata import SEGMENT_BYTES
+
+        pf = HierarchicalPrefetcher(
+            HPConfig(metadata_buffer_bytes=4 * SEGMENT_BYTES)
+        )
+        stats = simulate(micro_trace, prefetcher=pf)
+        assert pf.buffer.reclaims > 0
+        # Reclaim invalidates MAT entries; replay rate drops but nothing
+        # crashes and some replays still happen.
+        assert stats.extra["hp_bundles_triggered"] > 0
+
+    def test_bigger_buffer_not_worse(self, micro_trace_long):
+        small = simulate(
+            micro_trace_long,
+            prefetcher=HierarchicalPrefetcher(
+                HPConfig(metadata_buffer_bytes=16 * 1024)
+            ),
+        )
+        big = simulate(
+            micro_trace_long,
+            prefetcher=HierarchicalPrefetcher(
+                HPConfig(metadata_buffer_bytes=512 * 1024)
+            ),
+        )
+        assert big.ipc >= small.ipc * 0.98

@@ -1,0 +1,142 @@
+"""Unit tests for BlockSpec / Function / Binary."""
+
+import pytest
+
+from repro.isa.binary import Binary, BlockSpec, Function
+from repro.isa.instructions import BranchKind, TEXT_BASE
+
+
+def _ret(n=2):
+    return BlockSpec(ninstr=n, kind=BranchKind.RET)
+
+
+def simple_function(name="f", sizes=(4, 2)):
+    blocks = [BlockSpec(ninstr=sizes[0], kind=BranchKind.COND,
+                        taken_prob=0.1, taken_next=1), _ret(sizes[1])]
+    return Function(name, blocks)
+
+
+class TestBlockSpec:
+    def test_size(self):
+        assert BlockSpec(ninstr=5).size == 20
+
+    def test_call_requires_callee(self):
+        blk = BlockSpec(ninstr=2, kind=BranchKind.CALL)
+        with pytest.raises(ValueError, match="CALL requires a callee"):
+            blk.validate(0, 2)
+
+    def test_icall_requires_targets(self):
+        blk = BlockSpec(ninstr=2, kind=BranchKind.ICALL)
+        with pytest.raises(ValueError, match="ICALL requires targets"):
+            blk.validate(0, 2)
+
+    def test_cond_target_out_of_range(self):
+        blk = BlockSpec(ninstr=2, kind=BranchKind.COND, taken_next=5)
+        with pytest.raises(ValueError, match="out of"):
+            blk.validate(0, 3)
+
+    def test_loop_count_requires_backward_cond(self):
+        blk = BlockSpec(ninstr=2, kind=BranchKind.COND, taken_next=2,
+                        loop_count=4)
+        with pytest.raises(ValueError, match="backward"):
+            blk.validate(1, 4)
+
+    def test_backward_loop_ok(self):
+        blk = BlockSpec(ninstr=2, kind=BranchKind.COND, taken_next=0,
+                        loop_count=4)
+        blk.validate(1, 3)  # no raise
+
+    def test_fallthrough_off_end_rejected(self):
+        blk = BlockSpec(ninstr=2, kind=BranchKind.CALL, callee="g")
+        with pytest.raises(ValueError, match="fall"):
+            blk.validate(1, 2)  # CALL as last block would fall off
+
+
+class TestFunction:
+    def test_offsets_and_size(self):
+        f = simple_function(sizes=(4, 2))
+        assert f.blocks[0].offset == 0
+        assert f.blocks[1].offset == 16
+        assert f.size == 24
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Function("f", [])
+
+    def test_addresses_require_layout(self):
+        f = simple_function()
+        with pytest.raises(RuntimeError, match="layout"):
+            f.block_addr(0)
+
+    def test_terminator_addr(self):
+        binary = Binary(entry="f")
+        f = binary.add_function(simple_function(sizes=(4, 2)))
+        binary.layout()
+        assert f.terminator_addr(0) == f.addr + 3 * 4
+        assert f.terminator_addr(1) == f.addr + 16 + 1 * 4
+
+    def test_static_callees_includes_icall_targets(self):
+        blocks = [
+            BlockSpec(ninstr=2, kind=BranchKind.CALL, callee="g"),
+            BlockSpec(ninstr=2, kind=BranchKind.ICALL,
+                      targets=("h", "k")),
+            _ret(),
+        ]
+        f = Function("f", blocks)
+        assert sorted(f.static_callees()) == ["g", "h", "k"]
+
+
+class TestBinary:
+    def _binary(self):
+        binary = Binary(entry="main")
+        binary.add_function(Function("main", [
+            BlockSpec(ninstr=3, kind=BranchKind.CALL, callee="f"),
+            BlockSpec(ninstr=1, kind=BranchKind.JUMP, taken_next=0),
+        ]))
+        binary.add_function(simple_function("f"))
+        return binary
+
+    def test_duplicate_function_rejected(self):
+        binary = self._binary()
+        with pytest.raises(ValueError, match="duplicate"):
+            binary.add_function(simple_function("f"))
+
+    def test_missing_entry_rejected(self):
+        binary = Binary(entry="nope")
+        binary.add_function(simple_function("f"))
+        with pytest.raises(ValueError, match="entry"):
+            binary.validate()
+
+    def test_undefined_callee_rejected(self):
+        binary = Binary(entry="main")
+        binary.add_function(Function("main", [
+            BlockSpec(ninstr=3, kind=BranchKind.CALL, callee="ghost"),
+            _ret(),
+        ]))
+        with pytest.raises(ValueError, match="ghost"):
+            binary.validate()
+
+    def test_layout_assigns_aligned_increasing_addresses(self):
+        binary = self._binary()
+        binary.layout()
+        funcs = list(binary)
+        assert funcs[0].addr == TEXT_BASE
+        for f in funcs:
+            assert f.addr % Binary.FUNCTION_ALIGN == 0
+        for a, b in zip(funcs, funcs[1:]):
+            assert b.addr >= a.end_addr
+
+    def test_get_unknown_raises_keyerror_with_name(self):
+        binary = self._binary()
+        with pytest.raises(KeyError, match="nope"):
+            binary.get("nope")
+
+    def test_text_size_and_len(self):
+        binary = self._binary()
+        assert len(binary) == 2
+        assert binary.text_size == sum(f.size for f in binary)
+
+    def test_contains(self):
+        binary = self._binary()
+        assert "main" in binary
+        assert "other" not in binary

@@ -1,0 +1,76 @@
+"""Unit tests for the ISA constants and address helpers."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BranchKind,
+    CALL_KINDS,
+    INDIRECT_KINDS,
+    block_addr,
+    block_of,
+    blocks_spanned,
+    page_of,
+)
+
+
+class TestAddressHelpers:
+    def test_block_of_start_of_block(self):
+        assert block_of(0) == 0
+        assert block_of(64) == 1
+        assert block_of(0x400000) == 0x400000 >> 6
+
+    def test_block_of_within_block(self):
+        assert block_of(63) == 0
+        assert block_of(65) == 1
+
+    def test_block_addr_roundtrip(self):
+        for addr in (0, 64, 0x400040, 0x7FFFC0):
+            assert block_addr(block_of(addr)) <= addr
+            assert addr - block_addr(block_of(addr)) < 64
+
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(4095) == 0
+        assert page_of(4096) == 1
+
+    def test_blocks_spanned_single(self):
+        assert list(blocks_spanned(0, 64)) == [0]
+        assert list(blocks_spanned(0, 1)) == [0]
+
+    def test_blocks_spanned_crossing(self):
+        assert list(blocks_spanned(60, 8)) == [0, 1]
+
+    def test_blocks_spanned_exact_boundary(self):
+        # Last byte at offset 63 stays in block 0.
+        assert list(blocks_spanned(32, 32)) == [0]
+        assert list(blocks_spanned(32, 33)) == [0, 1]
+
+    def test_blocks_spanned_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            blocks_spanned(0, 0)
+        with pytest.raises(ValueError):
+            blocks_spanned(0, -4)
+
+
+class TestBranchKinds:
+    def test_call_kinds(self):
+        assert BranchKind.CALL in CALL_KINDS
+        assert BranchKind.ICALL in CALL_KINDS
+        assert BranchKind.RET not in CALL_KINDS
+        assert BranchKind.JUMP not in CALL_KINDS
+
+    def test_indirect_kinds(self):
+        assert BranchKind.ICALL in INDIRECT_KINDS
+        assert BranchKind.IJUMP in INDIRECT_KINDS
+        assert BranchKind.CALL not in INDIRECT_KINDS
+
+    def test_kind_values_are_stable(self):
+        # The trace encodes kinds as raw ints; the mapping is part of
+        # the on-disk/api contract.
+        assert int(BranchKind.NONE) == 0
+        assert int(BranchKind.COND) == 1
+        assert int(BranchKind.JUMP) == 2
+        assert int(BranchKind.CALL) == 3
+        assert int(BranchKind.RET) == 4
+        assert int(BranchKind.ICALL) == 5
+        assert int(BranchKind.IJUMP) == 6

@@ -1,0 +1,124 @@
+"""Unit tests for the linker (tagging) and loader (tag application)."""
+
+import pytest
+
+from repro.isa.binary import Binary, BlockSpec, Function
+from repro.isa.instructions import BranchKind
+from repro.isa.linker import BUNDLE_SECTION, Linker
+from repro.isa.loader import BUNDLE_ID_BITS, LoadedProgram, bundle_id_of
+
+KB = 1024
+
+
+def _leaf(name, size_bytes):
+    n = max(2, size_bytes // 4)
+    return Function(name, [
+        BlockSpec(ninstr=n - 2, kind=BranchKind.COND, taken_prob=0.1,
+                  taken_next=1),
+        BlockSpec(ninstr=2, kind=BranchKind.RET),
+    ])
+
+
+def make_binary():
+    """main calls two big divergent branches plus a small helper.
+
+    With threshold 8 KB both ``big`` and ``big2`` qualify as Bundle
+    entries (each >= 8 KB reachable, and main's reachable exceeds each
+    by more than 8 KB thanks to the other branch).
+    """
+    binary = Binary(entry="main")
+    binary.add_function(_leaf("big", 30 * KB))
+    binary.add_function(_leaf("big2", 20 * KB))
+    binary.add_function(Function("small", [
+        BlockSpec(ninstr=4, kind=BranchKind.RET),
+    ]))
+    binary.add_function(Function("main", [
+        BlockSpec(ninstr=3, kind=BranchKind.CALL, callee="big"),
+        BlockSpec(ninstr=3, kind=BranchKind.CALL, callee="big2"),
+        BlockSpec(ninstr=3, kind=BranchKind.CALL, callee="small"),
+        BlockSpec(ninstr=2, kind=BranchKind.JUMP, taken_next=0),
+    ]))
+    return binary
+
+
+class TestLinker:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            Linker(0)
+
+    def test_link_writes_section(self):
+        binary = make_binary()
+        result = Linker(8 * KB).link(binary)
+        assert binary.sections[BUNDLE_SECTION] is result
+        assert binary.is_laid_out
+
+    def test_tags_calls_to_entry_functions(self):
+        binary = make_binary()
+        result = Linker(8 * KB).link(binary)
+        assert "big" in result.entry_addrs
+        assert "small" not in result.entry_addrs
+        main = binary.get("main")
+        big_call = main.terminator_addr(0)
+        small_call = main.terminator_addr(2)
+        assert big_call in result.tagged_addrs
+        assert small_call not in result.tagged_addrs
+
+    def test_tags_returns_of_entry_functions(self):
+        binary = make_binary()
+        result = Linker(8 * KB).link(binary)
+        big = binary.get("big")
+        assert big.terminator_addr(1) in result.tagged_addrs
+        small = binary.get("small")
+        assert small.terminator_addr(0) not in result.tagged_addrs
+
+    def test_tags_icall_when_any_target_is_entry(self):
+        binary = make_binary()
+        binary.add_function(Function("disp", [
+            BlockSpec(ninstr=2, kind=BranchKind.ICALL,
+                      targets=("big", "small")),
+            BlockSpec(ninstr=1, kind=BranchKind.RET),
+        ]))
+        result = Linker(8 * KB).link(binary)
+        disp = binary.get("disp")
+        assert disp.terminator_addr(0) in result.tagged_addrs
+
+    def test_higher_threshold_fewer_tags(self):
+        b1, b2 = make_binary(), make_binary()
+        low = Linker(8 * KB).link(b1)
+        high = Linker(512 * KB).link(b2)
+        assert len(high.tagged_addrs) <= len(low.tagged_addrs)
+
+
+class TestLoader:
+    def test_requires_link(self):
+        binary = make_binary()
+        binary.layout()
+        with pytest.raises(ValueError, match="bundle_entries"):
+            LoadedProgram(binary)
+
+    def test_load_links_when_needed(self):
+        binary = make_binary()
+        program = LoadedProgram.load(binary, threshold=8 * KB)
+        assert program.n_bundles >= 1
+        main = binary.get("main")
+        assert program.is_tagged(main.terminator_addr(0))
+        assert not program.is_tagged(main.terminator_addr(2))
+
+    def test_load_relinks_on_threshold_change(self):
+        binary = make_binary()
+        p1 = LoadedProgram.load(binary, threshold=8 * KB)
+        p2 = LoadedProgram.load(binary, threshold=512 * KB)
+        assert len(p2.tagged) <= len(p1.tagged)
+
+
+class TestBundleId:
+    def test_width(self):
+        for addr in (0x400000, 0x400004, 0x7FF000, 0):
+            assert 0 <= bundle_id_of(addr) < (1 << BUNDLE_ID_BITS)
+
+    def test_deterministic(self):
+        assert bundle_id_of(0x401234) == bundle_id_of(0x401234)
+
+    def test_nearby_addresses_spread(self):
+        ids = {bundle_id_of(0x400000 + 4 * i) for i in range(256)}
+        assert len(ids) > 250  # multiplicative hash disperses

@@ -1,0 +1,75 @@
+"""Additional coverage: tag propagation from linker through trace to HP.
+
+These tests walk the full software path on the micro application:
+Algorithm 1 entries -> tagged instruction addresses -> tagged trace
+records -> Bundle IDs the hardware computes.
+"""
+
+from collections import Counter
+
+from repro.isa.instructions import BranchKind
+from repro.isa.loader import bundle_id_of
+
+
+class TestTagPropagation:
+    def test_every_tagged_record_is_a_linker_tag(self, micro_app,
+                                                 micro_trace):
+        tagged_addrs = micro_app.program.tagged
+        for i in range(len(micro_trace)):
+            if micro_trace.tagged[i]:
+                term = micro_trace.terminator_addr(i)
+                assert term in tagged_addrs
+
+    def test_tagged_calls_target_entry_functions(self, micro_app,
+                                                 micro_trace):
+        entries = {
+            micro_app.binary.get(name).addr
+            for name in micro_app.program.link_result.entry_addrs
+        }
+        # Direct calls only: a tagged indirect call site may still pick
+        # a non-entry target at runtime (e.g. a stage's skip stub).
+        checked = 0
+        for i in range(len(micro_trace)):
+            if (micro_trace.tagged[i]
+                    and micro_trace.kind[i] == int(BranchKind.CALL)):
+                assert micro_trace.target[i] in entries
+                checked += 1
+        if checked == 0:
+            import pytest
+
+            pytest.skip("micro app has no tagged direct calls")
+
+    def test_bundle_ids_recur(self, micro_trace):
+        """The same Bundle entry must recur many times — the premise of
+        record-and-replay."""
+        ids = Counter()
+        for i in range(len(micro_trace)):
+            if micro_trace.tagged[i]:
+                ids[bundle_id_of(micro_trace.target[i])] += 1
+        assert ids
+        most_common = ids.most_common(1)[0][1]
+        assert most_common >= 5
+
+    def test_distinct_bundles_bounded_by_entries(self, micro_app,
+                                                 micro_trace):
+        ids = set()
+        for i in range(len(micro_trace)):
+            if micro_trace.tagged[i]:
+                ids.add(bundle_id_of(micro_trace.target[i]))
+        # Dynamic Bundle IDs: call targets (bounded by entries) plus
+        # return-continuation addresses (bounded by tagged call sites).
+        upper = len(micro_app.program.tagged) + micro_app.program.n_bundles
+        assert 0 < len(ids) <= upper
+
+    def test_untagged_calls_exist(self, micro_trace):
+        """Most calls are *not* Bundle boundaries (minor calls stay
+        inside their Bundle)."""
+        call_kinds = {int(BranchKind.CALL), int(BranchKind.ICALL)}
+        tagged = untagged = 0
+        for i in range(len(micro_trace)):
+            if micro_trace.kind[i] in call_kinds:
+                if micro_trace.tagged[i]:
+                    tagged += 1
+                else:
+                    untagged += 1
+        assert untagged > tagged

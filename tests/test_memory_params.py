@@ -1,0 +1,56 @@
+"""Parameter-validation and geometry tests for hierarchy and configs."""
+
+import pytest
+
+from repro.cpu import MachineConfig
+from repro.cpu.stats import SimStats
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+
+class TestHierarchyParams:
+    def test_table1_defaults(self):
+        p = HierarchyParams()
+        assert p.l1i_bytes == 32 * 1024
+        assert p.l1i_assoc == 8
+        assert p.l2_bytes == 512 * 1024
+        assert p.llc_bytes == 2 * 1024 * 1024
+        assert p.llc_assoc == 16
+        assert p.lat_l2 == 14
+        assert p.lat_llc == 50
+
+    def test_cache_geometry_from_params(self):
+        h = MemoryHierarchy(HierarchyParams(), SimStats())
+        assert h.l1i.capacity_blocks == 512
+        assert h.l2.capacity_blocks == 8192
+        assert h.llc.capacity_blocks == 32768
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(HierarchyParams(l1i_bytes=1000), SimStats())
+
+
+class TestMachineConfig:
+    def test_table1_core_defaults(self):
+        cfg = MachineConfig()
+        assert cfg.core.commit_width == 5
+        assert cfg.frontend.ftq_entries == 24
+        assert cfg.frontend.btb_entries == 8192
+
+    def test_nested_replace_chains(self):
+        cfg = MachineConfig().replace(
+            **{"hierarchy.l1i_bytes": 64 * 1024}
+        ).replace(**{"core.commit_width": 4})
+        assert cfg.hierarchy.l1i_bytes == 64 * 1024
+        assert cfg.core.commit_width == 4
+
+    def test_replace_returns_new_object(self):
+        a = MachineConfig()
+        b = a.replace(**{"core.commit_width": 8})
+        assert a is not b
+        assert a.core is not b.core
+
+    def test_frontend_params_independent(self):
+        a = MachineConfig()
+        b = a.replace(**{"frontend.btb_entries": None})
+        assert a.frontend.btb_entries == 8192
+        assert b.frontend.btb_entries is None

@@ -1,0 +1,165 @@
+"""Unit tests for the Metadata Buffer and Metadata Address Table."""
+
+import pytest
+
+from repro.core.compression import SpatialRegion
+from repro.core.metadata import (
+    MetadataAddressTable,
+    MetadataBuffer,
+    SEGMENT_BYTES,
+    SEGMENT_REGIONS,
+    Segment,
+)
+
+
+class TestSegment:
+    def test_append_until_full(self):
+        seg = Segment(0, bundle_id=1, num_insts=0)
+        for i in range(SEGMENT_REGIONS):
+            seg.append(SpatialRegion(i * 64))
+        assert seg.full
+        with pytest.raises(RuntimeError):
+            seg.append(SpatialRegion(9999))
+
+    def test_reset_clears(self):
+        seg = Segment(3, bundle_id=1, num_insts=10)
+        seg.append(SpatialRegion(0))
+        seg.next_seg = 7
+        seg.reset(bundle_id=2, num_insts=55)
+        assert seg.bundle_id == 2
+        assert seg.num_insts == 55
+        assert seg.next_seg == -1
+        assert seg.n_valid == 0
+        assert seg.valid_regions() == []
+
+    def test_valid_regions_respects_truncation(self):
+        seg = Segment(0, 1, 0)
+        seg.append(SpatialRegion(0))
+        seg.append(SpatialRegion(64))
+        seg.n_valid = 1
+        assert len(seg.valid_regions()) == 1
+
+
+class TestMetadataBuffer:
+    def test_capacity_to_segments(self):
+        buf = MetadataBuffer(capacity_bytes=512 * 1024)
+        assert buf.n_segments == 512 * 1024 // SEGMENT_BYTES
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataBuffer(capacity_bytes=SEGMENT_BYTES - 1)
+
+    def test_allocate_circular(self):
+        buf = MetadataBuffer(capacity_bytes=4 * SEGMENT_BYTES)
+        indices = [
+            buf.allocate(i, 0, protect=lambda _i: False).index
+            for i in range(4)
+        ]
+        assert indices == [0, 1, 2, 3]
+
+    def test_reclaim_invalidates_owner(self):
+        invalidated = []
+        buf = MetadataBuffer(
+            capacity_bytes=2 * SEGMENT_BYTES,
+            on_invalidate=invalidated.append,
+        )
+        buf.allocate(111, 0, protect=lambda _i: False)
+        buf.allocate(222, 0, protect=lambda _i: False)
+        buf.allocate(333, 0, protect=lambda _i: False)  # reclaims seg 0
+        assert invalidated == [111]
+        assert buf.reclaims == 1
+
+    def test_protected_segments_skipped(self):
+        buf = MetadataBuffer(capacity_bytes=3 * SEGMENT_BYTES)
+        s0 = buf.allocate(1, 0, protect=lambda _i: False)
+        buf.allocate(2, 0, protect=lambda _i: False)
+        buf.allocate(3, 0, protect=lambda _i: False)
+        # Wrap-around: protect segment 0, so the next allocation reuses 1.
+        nxt = buf.allocate(4, 0, protect=lambda i: i == s0.index)
+        assert nxt.index == 1
+
+    def test_all_protected_raises(self):
+        buf = MetadataBuffer(capacity_bytes=2 * SEGMENT_BYTES)
+        with pytest.raises(RuntimeError):
+            buf.allocate(1, 0, protect=lambda _i: True)
+
+    def test_chain_follows_next_seg(self):
+        buf = MetadataBuffer(capacity_bytes=8 * SEGMENT_BYTES)
+        a = buf.allocate(9, 0, protect=lambda _i: False)
+        b = buf.allocate(9, 100, protect=lambda _i: False)
+        a.next_seg = b.index
+        a.n_valid = b.n_valid = 1
+        a.regions.append(SpatialRegion(0))
+        b.regions.append(SpatialRegion(64))
+        chain = buf.chain(a.index, 9)
+        assert [s.index for s in chain] == [a.index, b.index]
+
+    def test_chain_stops_at_ownership_mismatch(self):
+        buf = MetadataBuffer(capacity_bytes=8 * SEGMENT_BYTES)
+        a = buf.allocate(9, 0, protect=lambda _i: False)
+        other = buf.allocate(77, 0, protect=lambda _i: False)
+        a.next_seg = other.index
+        chain = buf.chain(a.index, 9)
+        assert [s.index for s in chain] == [a.index]
+
+    def test_chain_handles_stale_self_loop(self):
+        buf = MetadataBuffer(capacity_bytes=8 * SEGMENT_BYTES)
+        a = buf.allocate(9, 0, protect=lambda _i: False)
+        a.next_seg = a.index
+        assert len(buf.chain(a.index, 9)) == 1
+
+
+class TestMetadataAddressTable:
+    def test_paper_storage_budget(self):
+        # §5.3.3: 512 entries, 8-way, 24-bit IDs, 11-bit pointers ->
+        # 15872 bits = 1.94 KB.
+        mat = MetadataAddressTable()
+        assert mat.storage_bits() == 15872
+        assert abs(mat.storage_bits() / 8192 - 1.94) < 0.01
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataAddressTable(n_entries=100, assoc=8)
+
+    def test_insert_lookup(self):
+        mat = MetadataAddressTable(n_entries=16, assoc=4)
+        mat.insert(0x123, 7)
+        assert mat.lookup(0x123) == 7
+        assert mat.lookup(0x456) is None
+        assert mat.hits == 1 and mat.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        mat = MetadataAddressTable(n_entries=8, assoc=2)
+        n_sets = mat.n_sets
+        ids = [1 * n_sets, 2 * n_sets, 3 * n_sets]  # same set
+        mat.insert(ids[0], 0)
+        mat.insert(ids[1], 1)
+        mat.lookup(ids[0])        # refresh LRU
+        evicted = mat.insert(ids[2], 2)
+        assert evicted == ids[1]
+        assert mat.lookup(ids[0]) == 0
+        assert mat.lookup(ids[1]) is None
+
+    def test_invalidate(self):
+        mat = MetadataAddressTable(n_entries=16, assoc=4)
+        mat.insert(5, 1)
+        assert mat.invalidate(5)
+        assert not mat.invalidate(5)
+        assert mat.lookup(5) is None
+
+    def test_update_existing_moves_to_mru(self):
+        mat = MetadataAddressTable(n_entries=8, assoc=2)
+        n_sets = mat.n_sets
+        a, b, c = 1 * n_sets, 2 * n_sets, 3 * n_sets
+        mat.insert(a, 0)
+        mat.insert(b, 1)
+        mat.insert(a, 9)  # refresh + repoint
+        evicted = mat.insert(c, 2)
+        assert evicted == b
+        assert mat.lookup(a) == 9
+
+    def test_len(self):
+        mat = MetadataAddressTable(n_entries=16, assoc=4)
+        for i in range(5):
+            mat.insert(i, i)
+        assert len(mat) == 5

@@ -1,0 +1,48 @@
+"""Cross-validation: miss-ratio curves vs. simulated caches.
+
+The analytic MRC (fully-associative LRU over stack distances) should
+track the simulated set-associative L1-I's miss behaviour: bigger
+caches on the curve correspond to fewer misses in simulation.
+"""
+
+import pytest
+
+from repro.analysis.mrc import miss_ratio_curve
+from repro.cpu import MachineConfig, simulate
+
+
+@pytest.fixture(scope="module")
+def curve(micro_trace):
+    warm = int(len(micro_trace) * 0.3)
+    capacities = [128, 512, 2048]  # 8 KB, 32 KB, 128 KB
+    return dict(miss_ratio_curve(micro_trace, capacities, start=warm))
+
+
+class TestMRCAgainstSimulation:
+    def test_analytic_curve_orders_simulated_misses(self, micro_trace,
+                                                    curve):
+        misses = {}
+        for kb in (8, 32, 128):
+            cfg = MachineConfig().replace(
+                **{"hierarchy.l1i_bytes": kb * 1024,
+                   "frontend.issue_prefetches": False}
+            )
+            stats = simulate(micro_trace, config=cfg, warmup_fraction=0.3)
+            misses[kb] = stats.l1i_misses
+        # Both the analytic curve and the simulation agree on ordering.
+        assert misses[8] > misses[32] > misses[128] or (
+            misses[32] == misses[128]  # already fits
+        )
+        assert curve[128] >= curve[512] >= curve[2048]
+
+    def test_analytic_ratio_brackets_simulated(self, micro_trace, curve):
+        """The simulated no-prefetch miss ratio at 32 KB lands in the
+        same ballpark as the analytic fully-associative ratio."""
+        cfg = MachineConfig().replace(
+            **{"frontend.issue_prefetches": False}
+        )
+        stats = simulate(micro_trace, config=cfg, warmup_fraction=0.3)
+        simulated = stats.l1i_misses / max(1, stats.demand_accesses)
+        analytic = curve[512]
+        # Set-associativity and warmup effects allow generous slack.
+        assert abs(simulated - analytic) < 0.2

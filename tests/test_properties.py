@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reuse import StackDistanceTracker
+from repro.callgraph import CallGraph, reachable_sets, reachable_sizes
+from repro.core.compression import (
+    REGION_BLOCKS,
+    CompressionBuffer,
+    SpatialRegion,
+)
+from repro.core.metadata import (
+    MetadataAddressTable,
+    MetadataBuffer,
+    SEGMENT_BYTES,
+)
+from repro.core.record import RecordEngine
+from repro.core.replay import ReplayEngine
+from repro.isa.loader import BUNDLE_ID_BITS, bundle_id_of
+from repro.memory.cache import SetAssocCache
+
+SLOW = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+@given(offsets=st.sets(st.integers(0, REGION_BLOCKS - 1), min_size=1))
+def test_spatial_region_roundtrip(offsets):
+    base = 1000
+    region = SpatialRegion(base)
+    for off in offsets:
+        region.record(base + off)
+    assert set(region.blocks()) == {base + off for off in offsets}
+    assert region.popcount() == len(offsets)
+
+
+@SLOW
+@given(blocks=st.lists(st.integers(0, 4000), min_size=1, max_size=400))
+def test_compression_buffer_loses_nothing(blocks):
+    """Every observed block appears in exactly the evicted + resident
+    regions after a flush."""
+    out = []
+    cb = CompressionBuffer(capacity=8, sink=out.append, span=8)
+    for b in blocks:
+        cb.observe(b)
+    cb.flush()
+    covered = set()
+    for region in out:
+        covered.update(region.blocks())
+    assert covered == set(blocks)
+
+
+@SLOW
+@given(blocks=st.lists(st.integers(0, 255), min_size=1, max_size=300))
+def test_cache_capacity_and_mru_invariants(blocks):
+    cache = SetAssocCache(4 * 8 * 64, assoc=4, block_bytes=64)
+    for b in blocks:
+        if cache.lookup(b) is None:
+            cache.insert(b)
+        assert len(cache) <= cache.capacity_blocks
+        assert b in cache  # most recent block always resident
+
+
+@SLOW
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 255), st.integers(0, 63)),
+        max_size=300,
+    )
+)
+def test_mat_occupancy_and_consistency(ops):
+    mat = MetadataAddressTable(n_entries=32, assoc=4)
+    shadow = {}
+    for op, bundle, head in ops:
+        if op == 0:
+            evicted = mat.insert(bundle, head)
+            shadow[bundle] = head
+            if evicted is not None:
+                shadow.pop(evicted, None)
+        else:
+            got = mat.lookup(bundle)
+            if got is not None:
+                assert shadow.get(bundle) == got
+        assert len(mat) <= mat.n_entries
+
+
+@SLOW
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=40
+    ),
+    sizes=st.lists(st.integers(1, 1000), min_size=12, max_size=12),
+)
+def test_reachable_sizes_match_sets(edges, sizes):
+    g = CallGraph()
+    for i, size in enumerate(sizes):
+        g.add_node(f"n{i}", size)
+    for a, b in edges:
+        g.add_edge(f"n{a}", f"n{b}")
+    by_dp = reachable_sizes(g)
+    by_sets = reachable_sets(g)
+    for name, reached in by_sets.items():
+        assert by_dp[name] == sum(g.sizes[m] for m in reached)
+
+
+@SLOW
+@given(accesses=st.lists(st.integers(0, 30), min_size=1, max_size=200))
+def test_stack_distance_matches_naive(accesses):
+    tracker = StackDistanceTracker(len(accesses) + 1)
+    history = []
+    for block in accesses:
+        got = tracker.access(block)
+        if block in history:
+            idx = len(history) - 1 - history[::-1].index(block)
+            expected = len(set(history[idx + 1:]))
+        else:
+            expected = -1
+        history.append(block)
+        assert got == expected
+
+
+@SLOW
+@given(
+    bases=st.lists(st.integers(0, 10_000), min_size=1, max_size=150),
+    bundle_id=st.integers(0, (1 << 24) - 1),
+)
+def test_record_replay_roundtrip(bases, bundle_id):
+    """Whatever the record engine stores, replay returns verbatim."""
+    buf = MetadataBuffer(64 * SEGMENT_BYTES)
+    rec = RecordEngine(buf)
+    head = rec.begin(bundle_id)
+    for base in bases:
+        rec.observe_instructions(10)
+        rec.observe_region(SpatialRegion(base, 0b1))
+    result = rec.end()
+    assert not result.truncated
+    rep = ReplayEngine(buf)
+    assert rep.start(bundle_id, head)
+    got = []
+    for view in rep.take_eligible(1 << 50):
+        for region in view.regions:
+            got.extend(region.blocks())
+    assert got == bases
+
+
+@given(addr=st.integers(0, (1 << 48) - 1))
+def test_bundle_id_in_range(addr):
+    assert 0 <= bundle_id_of(addr) < (1 << BUNDLE_ID_BITS)
+
+
+@SLOW
+@given(
+    headers=st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=6,
+        ),
+        min_size=1, max_size=4,
+    ),
+    n_rows=st.integers(0, 5),
+)
+def test_format_table_rectangular(headers, n_rows):
+    from repro.analysis.reporting import format_table
+
+    rows = [[f"v{r}{c}" for c in range(len(headers))]
+            for r in range(n_rows)]
+    out = format_table(headers, rows)
+    lines = out.splitlines()
+    assert len(lines) == 2 + n_rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1

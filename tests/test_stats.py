@@ -1,0 +1,100 @@
+"""Unit tests for SimStats bookkeeping and derived metrics."""
+
+import pytest
+
+from repro.cpu.stats import LEVEL_DRAM, LEVEL_L2, LEVEL_LLC, SimStats
+from repro.memory.cache import ORIGIN_FDIP, ORIGIN_PF
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        s = SimStats()
+        s.instructions = 1000
+        s.cycles = 500.0
+        assert s.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_mpki(self):
+        s = SimStats()
+        s.instructions = 10_000
+        s.l1i_misses = 50
+        s.l2_demand_misses = 20
+        assert s.l1i_mpki == 5.0
+        assert s.l2_mpki == 2.0
+
+    def test_mpki_no_instructions(self):
+        assert SimStats().l1i_mpki == 0.0
+
+    def test_accuracy(self):
+        s = SimStats()
+        s.pf_issued[ORIGIN_PF] = 100
+        s.pf_useful[ORIGIN_PF] = 40
+        assert s.accuracy(ORIGIN_PF) == 0.4
+        assert s.accuracy(ORIGIN_FDIP) == 0.0
+
+    def test_late_fraction(self):
+        s = SimStats()
+        s.pf_useful[ORIGIN_PF] = 50
+        s.pf_late[ORIGIN_PF] = 5
+        assert s.late_fraction(ORIGIN_PF) == 0.1
+
+    def test_avg_distance(self):
+        s = SimStats()
+        s.distance_sum[ORIGIN_PF] = 300
+        s.distance_n[ORIGIN_PF] = 10
+        assert s.avg_distance(ORIGIN_PF) == 30.0
+        assert s.avg_distance(ORIGIN_FDIP) == 0.0
+
+    def test_dram_bytes(self):
+        s = SimStats()
+        s.dram_read_bytes = 100
+        s.dram_write_bytes = 28
+        assert s.dram_bytes == 128
+
+    def test_total_exposed_latency(self):
+        s = SimStats()
+        s.exposed_latency[LEVEL_L2] = 10.0
+        s.exposed_latency[LEVEL_LLC] = 20.0
+        s.exposed_latency[LEVEL_DRAM] = 30.0
+        assert s.total_exposed_latency() == 60.0
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self):
+        s = SimStats()
+        s.instructions = 10
+        s.pf_issued[ORIGIN_PF] = 5
+        s.exposed_latency[LEVEL_L2] = 3.0
+        s.extra["x"] = 1
+        s.reset()
+        assert s.instructions == 0
+        assert s.pf_issued[ORIGIN_PF] == 0
+        assert s.exposed_latency[LEVEL_L2] == 0.0
+        assert s.extra == {}
+
+    def test_reset_replaces_containers(self):
+        # Holding a stale reference to a per-origin list must not alias
+        # the fresh counters.
+        s = SimStats()
+        stale = s.pf_issued
+        s.reset()
+        stale[0] = 99
+        assert s.pf_issued[0] == 0
+
+
+class TestAsDict:
+    def test_core_fields_present(self):
+        s = SimStats()
+        s.instructions = 100
+        s.cycles = 50.0
+        d = s.as_dict()
+        for key in ("instructions", "cycles", "ipc", "l1i_mpki",
+                    "l2_mpki", "dram_bytes"):
+            assert key in d
+
+    def test_extras_merged(self):
+        s = SimStats()
+        s.extra["hp_bundles_triggered"] = 7
+        assert s.as_dict()["hp_bundles_triggered"] == 7

@@ -1,0 +1,116 @@
+"""End-to-end integration tests on real suite workloads (tiny scale).
+
+These are the slowest tests in the suite; they pin the qualitative
+behaviours the benchmarks rely on, at the smallest scale that still
+exhibits them.
+"""
+
+import pytest
+
+from repro.cpu import MachineConfig, simulate
+from repro.memory.cache import ORIGIN_FDIP, ORIGIN_PF
+from repro.prefetchers import make_prefetcher
+from repro.workloads.cache import get_application, get_trace
+
+WORKLOAD = "mysql_sibench"
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return get_trace(WORKLOAD, scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_trace):
+    return simulate(tiny_trace)
+
+
+class TestBaselineSanity:
+    def test_server_like_miss_rate(self, baseline):
+        # Instruction working set must dwarf the L1-I.
+        assert baseline.l1i_mpki > 3.0
+
+    def test_fdip_is_active(self, baseline):
+        assert baseline.pf_issued[ORIGIN_FDIP] > 1000
+        assert baseline.pf_useful[ORIGIN_FDIP] > 0
+
+    def test_branch_population(self, baseline):
+        assert baseline.cond_branches > 10_000
+        assert baseline.returns > 500
+        assert baseline.indirect_branches > 10
+
+    def test_exposed_latency_beyond_l2(self, baseline):
+        # Long-reuse misses must reach the LLC/DRAM levels — the
+        # population HP exists to cover.
+        beyond = (baseline.exposed_latency["LLC"]
+                  + baseline.exposed_latency["DRAM"])
+        assert beyond > 0
+
+    def test_itlb_behaves(self, baseline):
+        assert baseline.itlb_accesses > 0
+        assert baseline.itlb_misses < baseline.itlb_accesses
+
+
+class TestApplicationStructure:
+    def test_bundles_exist(self):
+        app = get_application(WORKLOAD)
+        assert app.program.n_bundles > 10
+        # Only a small share of functions are entries (Table 4).
+        frac = app.program.n_bundles / len(app.binary)
+        assert frac < 0.10
+
+    def test_trace_tagged_density(self, tiny_trace):
+        tagged = sum(tiny_trace.tagged)
+        # Tags are sparse: well under 1% of blocks.
+        assert 0 < tagged < len(tiny_trace) * 0.01
+
+    def test_working_set_exceeds_l1i(self, tiny_trace):
+        from repro.analysis.mrc import working_set_blocks
+
+        ws = working_set_blocks(tiny_trace, 0.95)
+        assert ws * 64 > 32 * 1024  # beyond the 32 KB L1-I
+
+
+class TestPrefetcherIntegration:
+    @pytest.mark.parametrize(
+        "name", ["efetch", "mana", "eip", "rdip", "hierarchical"]
+    )
+    def test_runs_and_issues(self, tiny_trace, name):
+        stats = simulate(tiny_trace, prefetcher=make_prefetcher(name))
+        attempts = (stats.pf_issued[ORIGIN_PF]
+                    + stats.pf_redundant[ORIGIN_PF])
+        assert attempts > 0, name
+        assert stats.instructions > 0
+
+    def test_hp_reduces_misses(self, tiny_trace, baseline):
+        hp = simulate(tiny_trace,
+                      prefetcher=make_prefetcher("hierarchical"))
+        assert hp.l1i_misses < baseline.l1i_misses
+
+    def test_hp_distance_dwarfs_fine_grained(self, tiny_trace):
+        hp = simulate(tiny_trace,
+                      prefetcher=make_prefetcher("hierarchical"))
+        ef = simulate(tiny_trace, prefetcher=make_prefetcher("efetch"))
+        if ef.distance_n[ORIGIN_PF] and hp.distance_n[ORIGIN_PF]:
+            assert (hp.avg_distance(ORIGIN_PF)
+                    > 2 * ef.avg_distance(ORIGIN_PF))
+
+    def test_hp_low_late_fraction(self, tiny_trace):
+        hp = simulate(tiny_trace,
+                      prefetcher=make_prefetcher("hierarchical"))
+        assert hp.late_fraction(ORIGIN_PF) < 0.30
+
+    def test_perfect_l1i_upper_bounds_hp(self, tiny_trace, baseline):
+        cfg = MachineConfig().replace(**{"hierarchy.perfect_l1i": True})
+        perfect = simulate(tiny_trace, config=cfg)
+        hp = simulate(tiny_trace,
+                      prefetcher=make_prefetcher("hierarchical"))
+        assert perfect.ipc >= hp.ipc
+
+
+class TestCrossSeedStability:
+    def test_different_seeds_similar_baseline(self):
+        a = simulate(get_trace(WORKLOAD, scale="tiny", seed=1))
+        b = simulate(get_trace(WORKLOAD, scale="tiny", seed=2))
+        # Same workload, different request streams: broad agreement.
+        assert abs(a.ipc - b.ipc) / a.ipc < 0.35
