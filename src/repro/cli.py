@@ -5,6 +5,7 @@ Subcommands::
     repro list                       enumerate workloads and prefetchers
     repro run WORKLOAD               simulate one prefetcher vs. FDIP
     repro compare WORKLOAD           run the paper's comparison set
+    repro sweep [WORKLOAD...]        parallel cached grid (--jobs N)
     repro bundles WORKLOAD           Algorithm 1 report for a workload
     repro characterize WORKLOAD      structural workload profile
     repro trace WORKLOAD -o F.npz    generate + save a trace
@@ -101,6 +102,59 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    import time
+
+    from repro.experiments import runner
+    from repro.experiments.sweep import grid, sweep
+
+    if args.clear_cache:
+        from repro.experiments import diskcache
+
+        runner.clear_run_cache(disk=True)
+        print(f"cleared simulation cache at {diskcache.get_cache().root}")
+        if not args.workloads:
+            return 0
+    workloads = args.workloads or list(WORKLOAD_NAMES)
+    unknown = [w for w in workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    points = grid(workloads, args.prefetchers, scale=args.scale,
+                  seed=args.seed, warmup=args.warmup)
+    before = runner.run_cache_stats()
+    start = time.perf_counter()
+    results = sweep(points, jobs=args.jobs, use_cache=not args.no_cache,
+                    progress=print)
+    elapsed = time.perf_counter() - start
+    baselines = {r.point.workload: r.stats for r in results
+                 if r.point.prefetcher is None}
+    rows = []
+    for r in results:
+        base = baselines.get(r.point.workload)
+        speedup = ("-" if r.point.prefetcher is None or base is None
+                   else f"{r.stats.ipc / base.ipc - 1:+.1%}")
+        rows.append([
+            r.point.workload, r.point.prefetcher or "fdip",
+            f"{r.stats.ipc:.3f}", f"{r.stats.l1i_mpki:.2f}", speedup,
+            r.source, f"{r.seconds:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["workload", "prefetcher", "ipc", "l1i_mpki", "speedup",
+         "source", "secs"],
+        rows,
+    ))
+    s = runner.run_cache_stats()
+    simulated = s.simulations - before.simulations
+    disk = s.disk_hits - before.disk_hits
+    memory = s.memory_hits - before.memory_hits
+    print(f"\n{len(results)} points in {elapsed:.1f}s with --jobs "
+          f"{args.jobs}: {simulated} simulated, {disk} disk hits, "
+          f"{memory} memory hits")
+    return 0
+
+
 def cmd_bundles(args) -> int:
     from repro.core.bundles import identify_bundles
     from repro.workloads.cache import get_application
@@ -188,6 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="include the perfect-L1I headroom row")
     _add_scale(cmp_)
 
+    sw = sub.add_parser(
+        "sweep",
+        help="run a workload x prefetcher grid in parallel, with the "
+             "persistent simulation cache",
+    )
+    sw.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                    help="workloads to sweep (default: all)")
+    sw.add_argument("--prefetchers", nargs="+",
+                    default=["efetch", "mana", "eip", "hierarchical"],
+                    choices=[n for n in PREFETCHER_NAMES if n != "fdip"])
+    sw.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (default: 1 = serial)")
+    sw.add_argument("--no-cache", action="store_true",
+                    help="ignore and do not update the result caches")
+    sw.add_argument("--clear-cache", action="store_true",
+                    help="clear the on-disk simulation cache first "
+                         "(with no workloads: clear and exit)")
+    _add_scale(sw)
+
     bundles = sub.add_parser("bundles", help="Algorithm 1 report")
     bundles.add_argument("workload", choices=WORKLOAD_NAMES)
     bundles.add_argument("--threshold", type=int, default=0,
@@ -219,6 +292,7 @@ _COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "compare": cmd_compare,
+    "sweep": cmd_sweep,
     "bundles": cmd_bundles,
     "characterize": cmd_characterize,
     "trace": cmd_trace,

@@ -134,6 +134,64 @@ class SimStats:
     def total_exposed_latency(self) -> float:
         return sum(self.exposed_latency.values())
 
+    # ------------------------------------------------------------------
+    # Serialization (disk cache / cross-process transport)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Complete counter state as plain containers.
+
+        Unlike :meth:`as_dict` (a reporting snapshot of derived
+        metrics), this captures *every* raw counter so that
+        ``SimStats.from_state(s.state_dict())`` reproduces ``s``
+        exactly — the contract the on-disk simulation cache relies on.
+        """
+        out: Dict[str, object] = {}
+        for name, value in self.__dict__.items():
+            if isinstance(value, list):
+                out[name] = list(value)
+            elif isinstance(value, dict):
+                out[name] = dict(value)
+            else:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SimStats":
+        """Rebuild a :class:`SimStats` from :meth:`state_dict` output.
+
+        Strict: a state whose field set differs from the current class
+        (older/newer schema) raises ``ValueError`` so callers treat the
+        payload as stale rather than silently loading partial counters.
+        """
+        stats = cls()
+        expected = set(stats.__dict__)
+        got = set(state)
+        if expected != got:
+            missing = expected - got
+            unknown = got - expected
+            raise ValueError(
+                f"stale SimStats state (missing={sorted(missing)}, "
+                f"unknown={sorted(unknown)})"
+            )
+        for name, value in state.items():
+            current = stats.__dict__[name]
+            if isinstance(current, list):
+                value = list(value)
+            elif isinstance(current, dict):
+                value = dict(value)
+            setattr(stats, name, value)
+        return stats
+
+    def __eq__(self, other: object) -> bool:
+        """Field-exact equality (every raw counter identical)."""
+        if not isinstance(other, SimStats):
+            return NotImplemented
+        return self.__dict__ == other.__dict__
+
+    # Keep identity hashing: SimStats is mutable, and equality is only
+    # meant for determinism/round-trip assertions.
+    __hash__ = object.__hash__
+
     def as_dict(self) -> Dict[str, object]:
         """Flat snapshot for reporting."""
         out: Dict[str, object] = {

@@ -3,24 +3,45 @@
 Every artifact in the paper's evaluation has a function here returning
 structured results; the scripts under ``benchmarks/`` call these and
 print the corresponding rows/series.  Results are cached per
-(workload, scale, config, prefetcher) within the process so figures
-sharing runs (9, 10, 11, T2…) pay for each simulation once.
+(workload, scale, config, prefetcher, seed) in-process *and* in a
+content-addressed on-disk store (see docs/SWEEP_CACHE.md), so figures
+sharing runs pay for each simulation once — across processes, not just
+within one.  ``repro.experiments.sweep`` fans independent points out
+over a process pool.
 """
 
 from repro.experiments.runner import (
     DEFAULT_WARMUP,
     REPRESENTATIVE_WORKLOADS,
-    run_baseline,
-    run_prefetcher,
-    compare_all,
+    cache_key,
     clear_run_cache,
+    compare_all,
+    reset_run_cache_stats,
+    run_baseline,
+    run_cache_stats,
+    run_prefetcher,
+)
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepResult,
+    grid,
+    sweep,
+    sweep_grid,
 )
 
 __all__ = [
     "DEFAULT_WARMUP",
     "REPRESENTATIVE_WORKLOADS",
+    "cache_key",
     "run_baseline",
     "run_prefetcher",
+    "run_cache_stats",
+    "reset_run_cache_stats",
     "compare_all",
     "clear_run_cache",
+    "SweepPoint",
+    "SweepResult",
+    "grid",
+    "sweep",
+    "sweep_grid",
 ]

@@ -1,0 +1,165 @@
+"""Content-addressed on-disk store for simulation results.
+
+The per-process memoization in :mod:`repro.experiments.runner` dies
+with the process, so every fresh benchmark invocation used to pay for
+the whole §6 grid again.  This module persists each
+(workload × prefetcher × config) result under a SHA-256 of its cache
+key so that repeated invocations — and parallel sweep workers — reuse
+finished simulations.
+
+Layout (see docs/SWEEP_CACHE.md)::
+
+    <root>/<digest[:2]>/<digest>.pkl
+
+Each file is a pickled payload dict::
+
+    {"schema": SCHEMA_VERSION, "key": <full key string>,
+     "stats": SimStats.state_dict(), "miss_map": dict | None}
+
+Robustness contract: a corrupted, truncated, stale-schema or
+key-colliding file is *ignored* (treated as a miss and overwritten on
+the next store), never an exception to the caller.
+
+Environment knobs:
+
+``REPRO_CACHE_DIR``
+    Cache root (default ``~/.cache/repro-hp/sim``).
+``REPRO_DISK_CACHE``
+    Set to ``0``/``off``/``false`` to disable persistence entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Bump whenever the payload layout or the meaning of cached counters
+#: changes; old entries are then ignored (and lazily overwritten).
+SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLE = "REPRO_DISK_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-hp" / "sim"
+
+
+def disk_cache_enabled() -> bool:
+    """Whether on-disk persistence is active for this process."""
+    value = os.environ.get(_ENV_ENABLE, "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def key_digest(key: str) -> str:
+    """Content address for a cache key string."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A tiny content-addressed pickle store.
+
+    Values are opaque payload dicts; schema/key validation lives in the
+    caller (:mod:`repro.experiments.runner`) so this class stays a dumb,
+    crash-tolerant byte store.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        digest = key_digest(key)
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Load the payload for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, MemoryError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``.
+
+        Write failures (read-only FS, disk full) are swallowed — the
+        cache is an accelerator, never a correctness dependency.
+        """
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    def entries(self) -> Iterator[Path]:
+        """All entry files currently in the store."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.pkl"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"DiskCache({str(self.root)!r})"
+
+
+_DEFAULT: Optional[DiskCache] = None
+
+
+def get_cache() -> DiskCache:
+    """The process-wide cache at the configured root (lazily built)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = DiskCache(default_cache_dir())
+    return _DEFAULT
+
+
+def set_cache_dir(root: Optional[os.PathLike]) -> Optional[Path]:
+    """Point the process-wide cache at ``root`` (None = re-resolve from
+    the environment on next use).  Returns the previous root so tests
+    can restore it."""
+    global _DEFAULT
+    previous = _DEFAULT.root if _DEFAULT is not None else None
+    _DEFAULT = DiskCache(root) if root is not None else None
+    return previous

@@ -1,20 +1,39 @@
-"""Shared simulation runner with per-process result caching.
+"""Shared simulation runner with layered result caching.
 
 The paper's evaluation methodology (§6.1): warm up, then measure, with
 every prefetcher running on top of FDIP and compared to the plain FDIP
 baseline on the same workload.  ``run_prefetcher`` handles trace
 memoization, config overrides, and caching so that multi-figure
 benchmarks re-use each simulation.
+
+Caching is two-level:
+
+* an in-process dict (``_CACHE``) keyed by the full run key, so code
+  holding a result keeps getting the *same object* back;
+* a content-addressed on-disk store (:mod:`repro.experiments.diskcache`)
+  keyed by SHA-256 of the same key, so fresh processes — a second
+  benchmark invocation, or the workers of a parallel
+  :func:`repro.experiments.sweep.sweep` — skip finished simulations.
+
+The key includes every input that can change the result: workload,
+scale, prefetcher and its kwargs, config overrides, miss tracking,
+warmup fraction, trace seed, and a fingerprint of the default
+:class:`~repro.cpu.config.MachineConfig` plus the payload schema
+version (so cached results are invalidated when the model or the
+serialization format changes).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import PrefetchReport, compare_run
 from repro.cpu import MachineConfig, simulate
 from repro.cpu.stats import SimStats
+from repro.experiments import diskcache
 from repro.prefetchers import make_prefetcher
 from repro.workloads.cache import get_trace
 
@@ -34,18 +53,152 @@ REPRESENTATIVE_WORKLOADS = (
 
 _CACHE: Dict[str, Tuple[SimStats, Optional[dict]]] = {}
 
+_FINGERPRINT: Optional[str] = None
+
+
+def _config_fingerprint() -> str:
+    """Digest of the default machine configuration + cache schema.
+
+    Baked into every cache key: when Table-1 defaults or the payload
+    layout change between revisions, old on-disk entries silently stop
+    matching instead of serving stale timing results.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        def unwrap(obj):
+            if dataclasses.is_dataclass(obj):
+                return {
+                    f.name: unwrap(getattr(obj, f.name))
+                    for f in dataclasses.fields(obj)
+                }
+            return obj
+        blob = json.dumps(
+            {"config": unwrap(MachineConfig()),
+             "schema": diskcache.SCHEMA_VERSION},
+            sort_keys=True, default=str,
+        )
+        _FINGERPRINT = hashlib.sha256(blob.encode()).hexdigest()[:12]
+    return _FINGERPRINT
+
 
 def _key(workload: str, scale: str, prefetcher: Optional[str],
          pf_kwargs: Optional[dict], overrides: Optional[dict],
-         track: bool, warmup: float) -> str:
+         track: bool, warmup: float, seed: int) -> str:
     def encode(obj):
         return json.dumps(obj, sort_keys=True, default=str) if obj else ""
     return "|".join([
         workload, scale, prefetcher or "fdip", encode(pf_kwargs),
         encode(overrides), "t" if track else "", f"{warmup}",
+        f"s{seed}", _config_fingerprint(),
     ])
 
 
+def cache_key(
+    workload: str,
+    prefetcher: Optional[str],
+    scale: str = "bench",
+    pf_kwargs: Optional[dict] = None,
+    overrides: Optional[dict] = None,
+    track_block_misses: bool = False,
+    warmup: float = DEFAULT_WARMUP,
+    seed: int = 1,
+) -> str:
+    """Public form of the run key (same signature as run_prefetcher)."""
+    return _key(workload, scale, prefetcher, pf_kwargs, overrides,
+                track_block_misses, warmup, seed)
+
+
+# ----------------------------------------------------------------------
+# Cache observability
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class RunCacheStats:
+    """Where results came from since the last reset (observability for
+    the sweep engine and the zero-resimulation acceptance tests)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    simulations: int = 0
+    disk_writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.simulations
+
+
+_STATS = RunCacheStats()
+
+
+def run_cache_stats() -> RunCacheStats:
+    """Snapshot of the hit/miss counters."""
+    return dataclasses.replace(_STATS)
+
+
+def reset_run_cache_stats() -> None:
+    global _STATS
+    _STATS = RunCacheStats()
+
+
+def record_source(source: str) -> None:
+    """Count a result resolved outside ``run_prefetcher`` (the sweep
+    engine's parent-side cache probes and pool workers) so
+    :func:`run_cache_stats` reflects work done on this process's
+    behalf."""
+    if source == "sim":
+        _STATS.simulations += 1
+    elif source == "disk":
+        _STATS.disk_hits += 1
+    else:
+        _STATS.memory_hits += 1
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+def _disk_load(key: str) -> Optional[Tuple[SimStats, Optional[dict]]]:
+    if not diskcache.disk_cache_enabled():
+        return None
+    payload = diskcache.get_cache().get(key)
+    if payload is None:
+        return None
+    try:
+        if payload.get("schema") != diskcache.SCHEMA_VERSION:
+            return None
+        if payload.get("key") != key:  # digest collision / moved file
+            return None
+        stats = SimStats.from_state(payload["stats"])
+        miss_map = payload.get("miss_map")
+        if miss_map is not None:
+            miss_map = dict(miss_map)
+    except Exception:
+        return None  # stale or malformed payload: re-simulate
+    return stats, miss_map
+
+
+def _disk_store(key: str, stats: SimStats,
+                miss_map: Optional[dict]) -> None:
+    if not diskcache.disk_cache_enabled():
+        return
+    payload = {
+        "schema": diskcache.SCHEMA_VERSION,
+        "key": key,
+        "stats": stats.state_dict(),
+        "miss_map": dict(miss_map) if miss_map is not None else None,
+    }
+    diskcache.get_cache().put(key, payload)
+    _STATS.disk_writes += 1
+
+
+def seed_cache(key: str, stats: SimStats,
+               miss_map: Optional[dict]) -> None:
+    """Install an externally computed result (parallel sweep workers)
+    into the in-process cache."""
+    _CACHE[key] = (stats, miss_map)
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
 def run_prefetcher(
     workload: str,
     prefetcher: Optional[str],
@@ -55,16 +208,26 @@ def run_prefetcher(
     track_block_misses: bool = False,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 1,
+    use_cache: bool = True,
 ) -> Tuple[SimStats, Optional[dict]]:
     """Simulate ``workload`` under ``prefetcher``; returns
     ``(stats, l2_miss_map)`` — the map is None unless
-    ``track_block_misses``.  Results are cached per process.
+    ``track_block_misses``.  Results are cached in-process and (unless
+    disabled) on disk; ``use_cache=False`` neither reads nor writes
+    either layer.
     """
     key = _key(workload, scale, prefetcher, pf_kwargs, overrides,
-               track_block_misses, warmup)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
+               track_block_misses, warmup, seed)
+    if use_cache:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _STATS.memory_hits += 1
+            return cached
+        loaded = _disk_load(key)
+        if loaded is not None:
+            _STATS.disk_hits += 1
+            _CACHE[key] = loaded
+            return loaded
     trace = get_trace(workload, scale=scale, seed=seed)
     config = MachineConfig()
     if overrides:
@@ -79,8 +242,11 @@ def run_prefetcher(
     miss_map = (
         dict(sim.hierarchy.l2_miss_map) if track_block_misses else None
     )
+    _STATS.simulations += 1
     result = (stats, miss_map)
-    _CACHE[key] = result
+    if use_cache:
+        _CACHE[key] = result
+        _disk_store(key, stats, miss_map)
     return result
 
 
@@ -90,11 +256,14 @@ def run_baseline(
     overrides: Optional[dict] = None,
     track_block_misses: bool = False,
     warmup: float = DEFAULT_WARMUP,
+    seed: int = 1,
+    use_cache: bool = True,
 ) -> Tuple[SimStats, Optional[dict]]:
     """FDIP-only run (the baseline of every comparison)."""
     return run_prefetcher(
         workload, None, scale=scale, overrides=overrides,
         track_block_misses=track_block_misses, warmup=warmup,
+        seed=seed, use_cache=use_cache,
     )
 
 
@@ -103,8 +272,23 @@ def compare_all(
     prefetchers: Sequence[str] = ("efetch", "mana", "eip", "hierarchical"),
     scale: str = "bench",
     overrides: Optional[dict] = None,
+    jobs: int = 1,
 ) -> Dict[str, PrefetchReport]:
-    """Run the named prefetchers against the FDIP baseline."""
+    """Run the named prefetchers against the FDIP baseline.
+
+    With ``jobs > 1`` the points fan out over a process pool via the
+    sweep engine (uncached points simulate concurrently).
+    """
+    if jobs > 1:
+        from repro.experiments.sweep import SweepPoint, sweep
+
+        points = [SweepPoint(workload, None, scale=scale,
+                             overrides=overrides)]
+        points += [
+            SweepPoint(workload, name, scale=scale, overrides=overrides)
+            for name in prefetchers
+        ]
+        sweep(points, jobs=jobs, progress=None)
     baseline, _ = run_baseline(workload, scale=scale, overrides=overrides)
     out: Dict[str, PrefetchReport] = {}
     for name in prefetchers:
@@ -124,6 +308,9 @@ def perfect_l1i_speedup(workload: str, scale: str = "bench") -> float:
     return perfect.ipc / baseline.ipc - 1.0
 
 
-def clear_run_cache() -> None:
-    """Drop all cached simulation results."""
+def clear_run_cache(disk: bool = False) -> None:
+    """Drop all cached simulation results (in-process; plus the on-disk
+    store when ``disk=True``)."""
     _CACHE.clear()
+    if disk and diskcache.disk_cache_enabled():
+        diskcache.get_cache().clear()

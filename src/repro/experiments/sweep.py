@@ -1,0 +1,241 @@
+"""Parallel sweep engine over (workload × prefetcher × config) points.
+
+``runner.run_prefetcher`` evaluates one point; the full §6 grid is
+hundreds of points that are completely independent, so this module
+fans them out over a ``multiprocessing`` pool.  Workers share the
+on-disk result cache (:mod:`repro.experiments.diskcache`), so a sweep
+only pays for points nobody has simulated yet, and its results are
+visible to every later process.
+
+Guarantees:
+
+* **Determinism** — results are identical to the serial path; a point
+  is fully described by its :class:`SweepPoint` and the simulator is
+  deterministic, so worker scheduling cannot change any counter
+  (asserted by tests/test_determinism.py).
+* **Order** — results come back in input order regardless of which
+  worker finishes first.
+* **Observability** — one progress line per completed point
+  (``[ 3/12] beego/mana  sim  1.82s``) so multi-minute grids are
+  watchable; pass ``progress=None`` to silence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.stats import SimStats
+from repro.experiments import runner
+from repro.experiments.runner import DEFAULT_WARMUP
+
+#: The paper's comparison set (Figures 9-11, Table 2).
+DEFAULT_PREFETCHERS = ("efetch", "mana", "eip", "hierarchical")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One simulation point: the full argument set of
+    ``runner.run_prefetcher`` (``prefetcher=None`` = FDIP baseline)."""
+
+    workload: str
+    prefetcher: Optional[str] = None
+    scale: str = "bench"
+    pf_kwargs: Optional[dict] = None
+    overrides: Optional[dict] = None
+    track_block_misses: bool = False
+    warmup: float = DEFAULT_WARMUP
+    seed: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.prefetcher or 'fdip'}"
+
+    def key(self) -> str:
+        return runner.cache_key(
+            self.workload, self.prefetcher, scale=self.scale,
+            pf_kwargs=self.pf_kwargs, overrides=self.overrides,
+            track_block_misses=self.track_block_misses,
+            warmup=self.warmup, seed=self.seed,
+        )
+
+    def run(self, use_cache: bool = True) -> Tuple[SimStats, Optional[dict]]:
+        return runner.run_prefetcher(
+            self.workload, self.prefetcher, scale=self.scale,
+            pf_kwargs=self.pf_kwargs, overrides=self.overrides,
+            track_block_misses=self.track_block_misses,
+            warmup=self.warmup, seed=self.seed, use_cache=use_cache,
+        )
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """A completed point with provenance and timing."""
+
+    point: SweepPoint
+    stats: SimStats
+    miss_map: Optional[dict]
+    seconds: float
+    source: str  # "memory" | "disk" | "sim"
+
+
+ProgressFn = Callable[[str], None]
+
+
+def _default_progress(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
+def grid(
+    workloads: Sequence[str],
+    prefetchers: Sequence[Optional[str]] = DEFAULT_PREFETCHERS,
+    include_baseline: bool = True,
+    **common,
+) -> List[SweepPoint]:
+    """Cross ``workloads × prefetchers`` into sweep points.
+
+    ``common`` forwards to every :class:`SweepPoint` (scale, seed,
+    warmup, overrides...).  ``include_baseline`` prepends the FDIP
+    point per workload so comparisons never re-simulate it serially.
+    """
+    points: List[SweepPoint] = []
+    for w in workloads:
+        if include_baseline:
+            points.append(SweepPoint(w, None, **common))
+        for name in prefetchers:
+            if name in (None, "fdip"):
+                continue
+            points.append(SweepPoint(w, name, **common))
+    return points
+
+
+def _classify(before: runner.RunCacheStats,
+              after: runner.RunCacheStats) -> str:
+    if after.simulations > before.simulations:
+        return "sim"
+    if after.disk_hits > before.disk_hits:
+        return "disk"
+    return "memory"
+
+
+def _run_serial(point: SweepPoint,
+                use_cache: bool) -> Tuple[SimStats, Optional[dict], str, float]:
+    before = runner.run_cache_stats()
+    start = time.perf_counter()
+    stats, miss_map = point.run(use_cache=use_cache)
+    elapsed = time.perf_counter() - start
+    source = _classify(before, runner.run_cache_stats()) if use_cache else "sim"
+    return stats, miss_map, source, elapsed
+
+
+def _worker(job: Tuple[int, SweepPoint, bool]):
+    """Pool entry point: evaluate one point in a worker process.
+
+    Returns picklable raw state; the parent reassembles ``SimStats``
+    and seeds its in-process cache so later same-process calls hit.
+    """
+    index, point, use_cache = job
+    stats, miss_map, source, elapsed = _run_serial(point, use_cache)
+    return index, stats.state_dict(), miss_map, source, elapsed
+
+
+def sweep(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    use_cache: bool = True,
+    progress: Optional[ProgressFn] = _default_progress,
+) -> List[SweepResult]:
+    """Evaluate every point, fanning out over ``jobs`` processes.
+
+    Cached points (memory or disk) are resolved in the parent first;
+    only genuinely missing simulations are shipped to the pool, so a
+    warm sweep never forks at all.
+    """
+    points = list(points)
+    total = len(points)
+    results: List[Optional[SweepResult]] = [None] * total
+    done = 0
+
+    def emit(result: SweepResult, index: int) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(
+                f"[{done:>{len(str(total))}}/{total}] "
+                f"{result.point.label:<28s} {result.source:<6s} "
+                f"{result.seconds:6.2f}s"
+            )
+
+    if jobs <= 1:
+        for i, point in enumerate(points):
+            stats, miss_map, source, elapsed = _run_serial(point, use_cache)
+            results[i] = SweepResult(point, stats, miss_map, elapsed, source)
+            emit(results[i], i)
+        return [r for r in results if r is not None]
+
+    pending: List[Tuple[int, SweepPoint]] = []
+    if use_cache:
+        # Resolve warm points in the parent without forking.
+        for i, point in enumerate(points):
+            key = point.key()
+            start = time.perf_counter()
+            cached = runner._CACHE.get(key)
+            source = "memory"
+            if cached is None:
+                cached = runner._disk_load(key)
+                source = "disk"
+                if cached is not None:
+                    runner.seed_cache(key, *cached)
+            if cached is None:
+                pending.append((i, point))
+                continue
+            stats, miss_map = cached
+            runner.record_source(source)
+            results[i] = SweepResult(point, stats, miss_map,
+                                     time.perf_counter() - start, source)
+            emit(results[i], i)
+    else:
+        pending = list(enumerate(points))
+
+    if pending:
+        n_workers = min(jobs, len(pending))
+        with multiprocessing.Pool(n_workers) as pool:
+            jobs_iter = ((i, p, use_cache) for i, p in pending)
+            for index, state, miss_map, source, elapsed in (
+                    pool.imap_unordered(_worker, jobs_iter)):
+                point = points[index]
+                stats = SimStats.from_state(state)
+                runner.record_source(source)
+                if use_cache:
+                    # Workers persisted to disk; mirror into this
+                    # process's memory cache too.
+                    runner.seed_cache(point.key(), stats, miss_map)
+                results[index] = SweepResult(point, stats, miss_map,
+                                             elapsed, source)
+                emit(results[index], index)
+
+    return [r for r in results if r is not None]
+
+
+def sweep_grid(
+    workloads: Sequence[str],
+    prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
+    jobs: int = 1,
+    use_cache: bool = True,
+    progress: Optional[ProgressFn] = _default_progress,
+    include_baseline: bool = True,
+    **common,
+) -> Dict[str, Dict[str, SweepResult]]:
+    """Convenience wrapper: sweep a workload × prefetcher grid and
+    return ``{workload: {prefetcher_or_'fdip': SweepResult}}``."""
+    points = grid(workloads, prefetchers,
+                  include_baseline=include_baseline, **common)
+    out: Dict[str, Dict[str, SweepResult]] = {}
+    for result in sweep(points, jobs=jobs, use_cache=use_cache,
+                        progress=progress):
+        name = result.point.prefetcher or "fdip"
+        out.setdefault(result.point.workload, {})[name] = result
+    return out

@@ -8,6 +8,7 @@ small LRU to bound memory).
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Dict, Tuple
 
@@ -17,7 +18,19 @@ from repro.workloads.trace import Trace
 
 _APPS: Dict[str, Application] = {}
 _TRACES: OrderedDict = OrderedDict()
-_TRACE_CACHE_MAX = 6
+
+
+def _trace_cache_max() -> int:
+    """LRU bound for memoized traces.
+
+    The default of 6 suits single-figure runs; full-grid sweeps touch
+    all 11 workloads round-robin and would evict every entry before its
+    reuse, so the bound is overridable via ``REPRO_TRACE_CACHE``.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_TRACE_CACHE", "6")))
+    except ValueError:
+        return 6
 
 
 def get_application(name: str) -> Application:
@@ -39,7 +52,7 @@ def get_trace(name: str, scale: str = "bench", seed: int = 1) -> Trace:
     app = get_application(name)
     trace = app.trace(requests_for(name, scale), seed=seed)
     _TRACES[key] = trace
-    if len(_TRACES) > _TRACE_CACHE_MAX:
+    while len(_TRACES) > _trace_cache_max():
         _TRACES.popitem(last=False)
     return trace
 

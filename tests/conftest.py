@@ -12,6 +12,21 @@ from repro.workloads.appmodel import AppParams, StageSpec
 from repro.workloads.generator import build_app
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the on-disk simulation cache at a per-session temp dir.
+
+    Keeps the suite hermetic: results persisted by earlier local runs
+    (or leaked into ``~/.cache``) can never satisfy a test's cache
+    lookup, and tests never pollute the user's real cache.
+    """
+    from repro.experiments import diskcache
+
+    diskcache.set_cache_dir(tmp_path_factory.mktemp("simcache"))
+    yield
+    diskcache.set_cache_dir(None)
+
+
 def micro_machine() -> MachineConfig:
     """Caches scaled down so the micro app's ~100 KB working set behaves
     like a server working set against Table-1 caches."""

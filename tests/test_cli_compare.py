@@ -42,3 +42,68 @@ class TestCompareFlow:
         assert rc == 0
         out = capsys.readouterr().out
         assert "hierarchical" in out
+
+
+class TestSweepParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workloads == []
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert not args.clear_cache
+        assert args.prefetchers == ["efetch", "mana", "eip",
+                                    "hierarchical"]
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "beego", "gin", "--jobs", "4", "--no-cache",
+             "--clear-cache", "--scale", "tiny", "--seed", "7"])
+        assert args.workloads == ["beego", "gin"]
+        assert args.jobs == 4
+        assert args.no_cache and args.clear_cache
+        assert args.seed == 7
+
+    def test_rejects_unknown_prefetcher(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--prefetchers", "ghost"])
+
+
+class TestSweepFlow:
+    def test_unknown_workload_errors(self, capsys):
+        rc = main(["sweep", "not_a_workload", "--scale", "tiny"])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_serial_sweep_progress_and_summary(self, capsys):
+        rc = main(["sweep", "mysql_sibench", "--prefetchers", "eip",
+                   "--scale", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Per-point progress lines plus the summary table/footer.
+        assert "[1/2]" in out and "[2/2]" in out
+        assert "mysql_sibench/fdip" in out
+        assert "mysql_sibench/eip" in out
+        assert "speedup" in out
+        assert "2 points in" in out
+
+    def test_parallel_sweep_jobs(self, capsys):
+        rc = main(["sweep", "mysql_sibench", "--prefetchers", "eip",
+                   "--jobs", "2", "--scale", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "--jobs 2" in out
+        assert "2 points in" in out
+        assert "[1/2]" in out and "[2/2]" in out
+
+    def test_no_cache_forces_resimulation(self, capsys):
+        rc = main(["sweep", "mysql_sibench", "--prefetchers", "eip",
+                   "--scale", "tiny", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 simulated" in out
+
+    def test_clear_cache_only(self, capsys):
+        rc = main(["sweep", "--clear-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cleared simulation cache" in out

@@ -9,6 +9,7 @@ randomization or id()s).
 import hashlib
 
 from repro.cpu import simulate
+from repro.cpu.simulator import FrontEndSimulator
 from repro.prefetchers import make_prefetcher
 from repro.workloads.generator import build_app
 from tests.conftest import micro_params
@@ -75,3 +76,61 @@ class TestDeterminism:
         b = build_app(micro_params())
         assert a.route_map == b.route_map
         assert a.request_weights == b.request_weights
+
+    def test_simstats_every_field_identical(self, micro_trace):
+        """Two FrontEndSimulator runs of the same trace/config/
+        prefetcher agree on *every* raw counter, not just headline
+        metrics — the contract the result cache serializes."""
+        for name in (None, "hierarchical", "mana"):
+            runs = []
+            for _ in range(2):
+                pf = make_prefetcher(name) if name else None
+                sim = FrontEndSimulator(prefetcher=pf,
+                                        track_block_misses=True)
+                runs.append((sim.run(micro_trace, warmup_fraction=0.4),
+                             dict(sim.hierarchy.l2_miss_map)))
+            (sa, ma), (sb, mb) = runs
+            assert sa == sb, name                      # SimStats.__eq__
+            assert sa.state_dict() == sb.state_dict(), name
+            assert ma == mb, name
+
+
+class TestSweepDeterminism:
+    """The parallel sweep engine returns byte-identical results to the
+    serial path (ISSUE acceptance: worker scheduling must not leak
+    into any counter)."""
+
+    POINTS = None  # built lazily: 2 workloads x 2 prefetchers
+
+    @classmethod
+    def _points(cls):
+        from repro.experiments.sweep import grid
+
+        if cls.POINTS is None:
+            cls.POINTS = grid(
+                ("mysql_sibench", "beego"), ("eip", "efetch"),
+                include_baseline=False, scale="tiny",
+            )
+        return cls.POINTS
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments.runner import clear_run_cache
+        from repro.experiments.sweep import sweep
+
+        clear_run_cache()
+        serial = sweep(self._points(), jobs=1, use_cache=False,
+                       progress=None)
+        parallel = sweep(self._points(), jobs=2, use_cache=False,
+                         progress=None)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert s.point == p.point
+            assert s.stats.state_dict() == p.stats.state_dict(), \
+                s.point.label
+            assert s.source == p.source == "sim"
+
+    def test_sweep_results_in_input_order(self):
+        from repro.experiments.sweep import sweep
+
+        results = sweep(self._points(), jobs=2, progress=None)
+        assert [r.point for r in results] == self._points()

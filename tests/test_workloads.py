@@ -189,3 +189,15 @@ class TestTraceCache:
         a = get_trace("mysql_sibench", scale="tiny")
         b = get_trace("mysql_sibench", scale="tiny")
         assert a is b
+
+    def test_trace_cache_bound_env(self, monkeypatch):
+        from repro.workloads import cache
+
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        assert cache._trace_cache_max() == 6
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "16")
+        assert cache._trace_cache_max() == 16
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "junk")
+        assert cache._trace_cache_max() == 6
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        assert cache._trace_cache_max() == 1
