@@ -10,7 +10,7 @@ stability of Bundles across consecutive executions.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.isa.instructions import BranchKind
 

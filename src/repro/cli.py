@@ -6,6 +6,7 @@ Subcommands::
     repro run WORKLOAD               simulate one prefetcher vs. FDIP
     repro compare WORKLOAD           run the paper's comparison set
     repro sweep [WORKLOAD...]        parallel cached grid (--jobs N)
+    repro probe WORKLOAD             interval IPC/MPKI/accuracy timelines
     repro bundles WORKLOAD           Algorithm 1 report for a workload
     repro characterize WORKLOAD      structural workload profile
     repro trace WORKLOAD -o F.npz    generate + save a trace
@@ -155,6 +156,48 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_probe(args) -> int:
+    import json
+
+    trace = _get_trace(args)
+    pf = (make_prefetcher(args.prefetcher)
+          if args.prefetcher not in ("fdip", "none") else None)
+    stats = simulate(trace, prefetcher=pf, warmup_fraction=args.warmup,
+                     probe_interval=args.interval)
+    instructions = stats.extra.get("probe.instructions", ())
+    if not instructions:
+        print("no probe samples: trace's measured window is shorter than "
+              f"--interval {args.interval}", file=sys.stderr)
+        return 1
+    ipc = stats.extra["probe.ipc"]
+    mpki = stats.extra["probe.l1i_mpki"]
+    acc = stats.extra["probe.pf_accuracy"]
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "prefetcher": args.prefetcher,
+            "interval": args.interval,
+            "instructions": list(instructions),
+            "cycles": list(stats.extra["probe.cycles"]),
+            "ipc": list(ipc),
+            "l1i_mpki": list(mpki),
+            "pf_accuracy": list(acc),
+        }))
+        return 0
+    print(f"{args.workload} @ {args.scale}, {args.prefetcher}: "
+          f"{len(instructions)} samples every {args.interval} instructions")
+    rows = [
+        [f"{int(n):,}", f"{i:.3f}", f"{m:.2f}", f"{a:.2%}"]
+        for n, i, m, a in zip(instructions, ipc, mpki, acc)
+    ]
+    print(format_table(
+        ["instructions", "ipc", "l1i_mpki", "pf_accuracy"], rows,
+    ))
+    print(f"\nwhole window: IPC {stats.ipc:.3f}, "
+          f"L1-I MPKI {stats.l1i_mpki:.2f}")
+    return 0
+
+
 def cmd_bundles(args) -> int:
     from repro.core.bundles import identify_bundles
     from repro.workloads.cache import get_application
@@ -261,6 +304,21 @@ def build_parser() -> argparse.ArgumentParser:
                          "(with no workloads: clear and exit)")
     _add_scale(sw)
 
+    probe = sub.add_parser(
+        "probe",
+        help="sample IPC/miss-rate/accuracy timelines over the measured "
+             "window via the interval probe bus",
+    )
+    probe.add_argument("workload", choices=WORKLOAD_NAMES)
+    probe.add_argument("--prefetcher", default="hierarchical",
+                       choices=PREFETCHER_NAMES)
+    probe.add_argument("--interval", type=int, default=20_000,
+                       help="committed instructions between samples "
+                            "(default: 20000)")
+    probe.add_argument("--json", action="store_true",
+                       help="emit the timelines as JSON")
+    _add_scale(probe)
+
     bundles = sub.add_parser("bundles", help="Algorithm 1 report")
     bundles.add_argument("workload", choices=WORKLOAD_NAMES)
     bundles.add_argument("--threshold", type=int, default=0,
@@ -293,6 +351,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "probe": cmd_probe,
     "bundles": cmd_bundles,
     "characterize": cmd_characterize,
     "trace": cmd_trace,

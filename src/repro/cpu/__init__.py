@@ -7,7 +7,9 @@ prefetchers.  The model is deterministic: identical traces and
 configurations produce identical cycle counts.
 """
 
+from repro.cpu.component import ComponentRegistry, SimComponent
 from repro.cpu.config import CoreConfig, MachineConfig
+from repro.cpu.probes import ProbeBus
 from repro.cpu.simulator import FrontEndSimulator, simulate
 from repro.cpu.stats import SimStats
 
@@ -23,6 +25,9 @@ def __getattr__(name):
 
 
 __all__ = [
+    "ComponentRegistry",
+    "SimComponent",
+    "ProbeBus",
     "CoreConfig",
     "MachineConfig",
     "FrontEndSimulator",

@@ -1,0 +1,153 @@
+"""The unified simulation-component state protocol.
+
+Every stateful microarchitectural model in the simulator — caches, TLB,
+branch predictors, the FDIP front end, the memory hierarchy, every
+instruction prefetcher, and the statistics container — implements
+:class:`SimComponent`, a small torch-module-style protocol:
+
+``reset()``
+    Return the component to its power-on state (geometry/configuration
+    preserved, learned state dropped).
+``state_dict()``
+    A self-contained, picklable snapshot of *all* mutable state.  The
+    contract is exactness: loading the snapshot into a freshly
+    constructed component with the same configuration must reproduce
+    bit-identical future behavior.  Snapshots share no mutable
+    containers with the live component.
+``load_state_dict(state)``
+    Restore a ``state_dict()`` snapshot.  Strict: a snapshot whose
+    field set does not match the current implementation raises
+    ``ValueError`` so callers treat it as stale instead of silently
+    loading partial state.
+``stats_snapshot()``
+    A small flat dict of derived observability metrics (occupancy,
+    hit rates, accuracy).  Cheap enough to call mid-run; consumed by
+    the interval probe bus and the ``repro probe`` CLI.
+
+:class:`FrontEndSimulator` composes components through a
+:class:`ComponentRegistry` rather than hand-wired attributes, which is
+what makes whole-machine snapshots (the warmup checkpoint/resume path
+in :mod:`repro.experiments.runner`) a one-liner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, TypeVar
+
+
+class SimComponent:
+    """Base class for every snapshottable simulator component."""
+
+    def reset(self) -> None:
+        """Return to the power-on state (configuration preserved)."""
+        raise NotImplementedError(f"{type(self).__name__}.reset")
+
+    def state_dict(self) -> Dict[str, object]:
+        """Self-contained snapshot of all mutable state."""
+        raise NotImplementedError(f"{type(self).__name__}.state_dict")
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (strict)."""
+        raise NotImplementedError(f"{type(self).__name__}.load_state_dict")
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Flat derived-metric snapshot for observability probes."""
+        return {}
+
+
+def check_state_fields(component: SimComponent, state: Dict[str, object],
+                       expected) -> None:
+    """Reject snapshots whose field set differs from ``expected``.
+
+    Shared strictness helper: stale checkpoints (older/newer schema)
+    must fail loudly so callers fall back to a cold run rather than
+    resuming from partial state.
+    """
+    expected = set(expected)
+    got = set(state)
+    if expected != got:
+        raise ValueError(
+            f"stale {type(component).__name__} state "
+            f"(missing={sorted(expected - got)}, "
+            f"unknown={sorted(got - expected)})"
+        )
+
+
+C = TypeVar("C", bound=SimComponent)
+
+
+class ComponentRegistry:
+    """Ordered, typed registry of named :class:`SimComponent` instances.
+
+    ``register`` returns the component it was given, so composition
+    sites keep their direct (hot-path) attribute references::
+
+        self.hierarchy = registry.register("hierarchy", MemoryHierarchy(...))
+
+    The registry then provides whole-machine ``state_dict`` /
+    ``load_state_dict`` / ``reset`` / ``stats_snapshot`` by delegating
+    to every registered component in registration order.
+    """
+
+    def __init__(self) -> None:
+        self._components: Dict[str, SimComponent] = {}
+
+    def register(self, name: str, component: C) -> C:
+        if not isinstance(component, SimComponent):
+            raise TypeError(
+                f"component {name!r} ({type(component).__name__}) does not "
+                "implement SimComponent"
+            )
+        if name in self._components:
+            raise ValueError(f"component {name!r} already registered")
+        self._components[name] = component
+        return component
+
+    def __getitem__(self, name: str) -> SimComponent:
+        return self._components[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._components)
+
+    def items(self) -> Iterator[Tuple[str, SimComponent]]:
+        return iter(self._components.items())
+
+    # ------------------------------------------------------------------
+    # Protocol delegation
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        for component in self._components.values():
+            component.reset()
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            name: component.state_dict()
+            for name, component in self._components.items()
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        expected = set(self._components)
+        got = set(state)
+        if expected != got:
+            raise ValueError(
+                f"component set mismatch (missing={sorted(expected - got)}, "
+                f"unknown={sorted(got - expected)})"
+            )
+        for name, component in self._components.items():
+            component.load_state_dict(state[name])
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, component in self._components.items():
+            for key, value in component.stats_snapshot().items():
+                out[f"{name}.{key}"] = value
+        return out
+
+    def __repr__(self) -> str:
+        return f"ComponentRegistry({', '.join(self._components)})"

@@ -24,7 +24,6 @@ from repro.core.prefetcher import HierarchicalPrefetcher, HPConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.simulator import FrontEndSimulator
 from repro.cpu.stats import SimStats
-from repro.memory.cache import ORIGIN_PF
 
 
 @dataclass

@@ -15,20 +15,35 @@ The model is deterministic and warmup-aware: statistics are reset at the
 warmup boundary while all microarchitectural state (caches, predictors,
 prefetcher metadata) persists — mirroring the paper's 100M-warmup /
 100M-measure methodology at reduced scale.
+
+The machine is composed of :class:`~repro.cpu.component.SimComponent`
+models held in a :class:`~repro.cpu.component.ComponentRegistry`; the
+simulator is itself a ``SimComponent`` whose ``state_dict`` is a
+complete machine snapshot.  ``run`` splits into :meth:`warmup` /
+:meth:`measure`, with :meth:`resume` restoring a snapshot taken at the
+warmup boundary (the checkpoint path in
+:mod:`repro.experiments.runner`).  An optional
+:class:`~repro.cpu.probes.ProbeBus` samples the machine every
+``probe_interval`` measured instructions by pre-splitting the
+measurement window at probe boundaries — the hot loop itself is never
+instrumented.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
+from repro.cpu.component import ComponentRegistry, SimComponent, \
+    check_state_fields
 from repro.cpu.config import MachineConfig
+from repro.cpu.probes import ProbeBus
 from repro.cpu.stats import SimStats
 from repro.frontend.fdip import FDIPFrontEnd, PEN_BTB_MISS, PEN_MISPREDICT
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.tlb import InstructionTLB
 
 
-class FrontEndSimulator:
+class FrontEndSimulator(SimComponent):
     """One simulated core running one trace."""
 
     def __init__(
@@ -36,39 +51,126 @@ class FrontEndSimulator:
         config: Optional[MachineConfig] = None,
         prefetcher=None,
         track_block_misses: bool = False,
+        probe_interval: int = 0,
     ):
         self.config = config or MachineConfig()
-        self.stats = SimStats()
-        self.hierarchy = MemoryHierarchy(self.config.hierarchy, self.stats)
-        self.frontend = FDIPFrontEnd(self.config.frontend, self.stats)
-        self.itlb = InstructionTLB(
-            self.config.core.itlb_entries, self.config.core.itlb_walk_latency
+        self.components = ComponentRegistry()
+        self.stats = self.components.register("stats", SimStats())
+        self.hierarchy = self.components.register(
+            "hierarchy", MemoryHierarchy(self.config.hierarchy, self.stats)
+        )
+        self.frontend = self.components.register(
+            "frontend", FDIPFrontEnd(self.config.frontend, self.stats)
+        )
+        self.itlb = self.components.register(
+            "itlb",
+            InstructionTLB(
+                self.config.core.itlb_entries,
+                self.config.core.itlb_walk_latency,
+            ),
         )
         self.prefetcher = prefetcher
+        if prefetcher is not None:
+            self.components.register("prefetcher", prefetcher)
         if track_block_misses:
             self.hierarchy.l2_miss_map = {}
+        self.probes = ProbeBus(probe_interval)
         self.now = 0.0
         self.commit_index = 0
         self.trace = None
+        self._ran = False
+        self._measuring = False
+        self._next_index = 0
+        self._last_block = -1
+        self._last_page = -1
+        self._cycle0 = 0.0
+        self._itlb_acc0 = 0
+        self._itlb_miss0 = 0
 
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
     def run(self, trace, warmup_fraction: float = 0.45) -> SimStats:
         """Simulate ``trace``; return measured-window statistics."""
+        self.warmup(trace, warmup_fraction)
+        return self.measure()
+
+    def warmup(self, trace, warmup_fraction: float = 0.45) -> int:
+        """Bind ``trace`` and run the warmup window.
+
+        Returns the warmup-end trace index.  The machine state at
+        return is exactly what :meth:`state_dict` should snapshot for a
+        warmup checkpoint; :meth:`measure` then runs the measured
+        window.
+        """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        self._begin_run(trace)
+        warmup_end = int(len(trace) * warmup_fraction)
+        self._last_block = -1
+        self._last_page = -1
+        if warmup_end:
+            self._run_range(0, warmup_end)
+        self._next_index = warmup_end
+        return warmup_end
+
+    def resume(self, trace, state: Dict[str, object]) -> "FrontEndSimulator":
+        """Bind ``trace`` and restore a machine snapshot.
+
+        The snapshot must come from a simulator with the same
+        configuration running the same trace (warmup checkpoints are
+        keyed accordingly).  A stale or mismatched snapshot raises
+        ``ValueError`` — callers fall back to a cold :meth:`warmup` on
+        a *fresh* simulator.
+        """
+        self._begin_run(trace)
+        self.load_state_dict(state)
+        return self
+
+    def measure(self) -> SimStats:
+        """Run from the current position to the end of the trace."""
+        trace = self.trace
+        if trace is None:
+            raise RuntimeError("no trace bound; call warmup() or resume()")
         n = len(trace)
-        if n == 0:
+        if not self._measuring:
+            self._begin_measurement()
+        probes = self.probes
+        if probes.enabled:
+            nin = trace.ninstr
+            i = self._next_index
+            counted = self.stats.instructions
+            while i < n:
+                target = probes.next_fire
+                j = i
+                while j < n and counted < target:
+                    counted += nin[j]
+                    j += 1
+                self._run_range(i, j)
+                self._next_index = j
+                i = j
+                if counted >= target:
+                    probes.fire(self)
+        else:
+            self._run_range(self._next_index, n)
+            self._next_index = n
+        self._finish_measurement()
+        return self.stats
+
+    def _begin_run(self, trace) -> None:
+        if self._ran:
+            raise RuntimeError(
+                "this FrontEndSimulator already ran a trace; stale "
+                "microarchitectural state would corrupt a second run — "
+                "call reset() first or construct a fresh simulator"
+            )
+        if len(trace) == 0:
             raise ValueError("empty trace")
+        self._ran = True
         self.trace = trace
         self.frontend.bind(trace, self.hierarchy)
         if self.prefetcher is not None:
             self.prefetcher.attach(self, trace)
-        warmup_end = int(n * warmup_fraction)
-        if warmup_end:
-            self._run_range(0, warmup_end)
-        self._begin_measurement()
-        self._run_range(warmup_end, n)
-        self._finish_measurement()
-        return self.stats
 
     # ------------------------------------------------------------------
     def _begin_measurement(self) -> None:
@@ -78,16 +180,22 @@ class FrontEndSimulator:
         self._cycle0 = self.now
         self._itlb_acc0 = self.itlb.accesses
         self._itlb_miss0 = self.itlb.misses
+        self._last_block = -1
+        self._last_page = -1
+        self._measuring = True
         if self.prefetcher is not None:
             self.prefetcher.on_measurement_start()
+        self.probes.begin()
 
     def _finish_measurement(self) -> None:
         stats = self.stats
         stats.cycles = self.now - self._cycle0
         stats.itlb_accesses = self.itlb.accesses - self._itlb_acc0
         stats.itlb_misses = self.itlb.misses - self._itlb_miss0
+        self._measuring = False
         if self.prefetcher is not None:
             self.prefetcher.on_measurement_end()
+        self.probes.publish(stats)
 
     def _run_range(self, start: int, end: int) -> None:
         trace = self.trace
@@ -105,15 +213,15 @@ class FrontEndSimulator:
         demand_fetch = hierarchy.demand_fetch
         advance = frontend.advance
         translate = itlb.translate
-        flags = frontend._flags
+        penalties = frontend.penalties
         on_commit = prefetcher.on_commit if prefetcher is not None else None
         on_miss = prefetcher.on_miss if prefetcher is not None else None
         on_mispredict = (
             prefetcher.on_mispredict if prefetcher is not None else None
         )
         now = self.now
-        last_block = -1
-        last_page = -1
+        last_block = self._last_block
+        last_page = self._last_page
         for i in range(start, end):
             advance(i, now)
             pc = pc_arr[i]
@@ -149,8 +257,8 @@ class FrontEndSimulator:
             else:
                 last_block = b0
             now += nin * inv_width
-            if flags:
-                pen = flags.pop(i, 0)
+            if penalties:
+                pen = penalties.pop(i, 0)
                 if pen:
                     if pen == PEN_MISPREDICT:
                         now += mispredict_penalty
@@ -167,6 +275,69 @@ class FrontEndSimulator:
                 self.now = now
                 on_commit(i, now)
         self.now = now
+        self._last_block = last_block
+        self._last_page = last_page
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol: the whole machine
+    # ------------------------------------------------------------------
+    _STATE_FIELDS = ("now", "next_index", "last_block", "last_page",
+                     "measuring", "cycle0", "itlb_acc0", "itlb_miss0",
+                     "components")
+
+    def reset(self) -> None:
+        """Return the whole machine to power-on state for another run."""
+        self.components.reset()
+        self.now = 0.0
+        self.commit_index = 0
+        self.trace = None
+        self._ran = False
+        self._measuring = False
+        self._next_index = 0
+        self._last_block = -1
+        self._last_page = -1
+        self._cycle0 = 0.0
+        self._itlb_acc0 = 0
+        self._itlb_miss0 = 0
+        self.probes.begin()
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete machine snapshot (components + commit position).
+
+        Probe samples are measurement-local observability output, not
+        machine state, and are deliberately excluded — a warmup
+        checkpoint is therefore probe-configuration-independent.
+        """
+        return {
+            "now": self.now,
+            "next_index": self._next_index,
+            "last_block": self._last_block,
+            "last_page": self._last_page,
+            "measuring": self._measuring,
+            "cycle0": self._cycle0,
+            "itlb_acc0": self._itlb_acc0,
+            "itlb_miss0": self._itlb_miss0,
+            "components": self.components.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        check_state_fields(self, state, self._STATE_FIELDS)
+        self.components.load_state_dict(state["components"])
+        self.now = state["now"]
+        self._next_index = state["next_index"]
+        self._last_block = state["last_block"]
+        self._last_page = state["last_page"]
+        self._measuring = state["measuring"]
+        self._cycle0 = state["cycle0"]
+        self._itlb_acc0 = state["itlb_acc0"]
+        self._itlb_miss0 = state["itlb_miss0"]
+        self.commit_index = max(0, self._next_index - 1)
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        out = self.components.stats_snapshot()
+        out["now"] = self.now
+        out["next_index"] = float(self._next_index)
+        return out
 
 
 def simulate(
@@ -175,11 +346,13 @@ def simulate(
     prefetcher=None,
     warmup_fraction: float = 0.45,
     track_block_misses: bool = False,
+    probe_interval: int = 0,
 ) -> SimStats:
     """One-shot convenience wrapper around :class:`FrontEndSimulator`."""
     sim = FrontEndSimulator(
         config=config,
         prefetcher=prefetcher,
         track_block_misses=track_block_misses,
+        probe_interval=probe_interval,
     )
     return sim.run(trace, warmup_fraction=warmup_fraction)

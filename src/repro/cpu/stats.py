@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.cpu.component import SimComponent
+
 #: Serving-level keys for miss/latency accounting.
 LEVEL_L2 = "L2"
 LEVEL_LLC = "LLC"
@@ -26,7 +28,7 @@ def _per_level() -> Dict[str, int]:
     return {LEVEL_L2: 0, LEVEL_LLC: 0, LEVEL_DRAM: 0}
 
 
-class SimStats:
+class SimStats(SimComponent):
     """All counters collected during one simulation run."""
 
     def __init__(self) -> None:
@@ -155,16 +157,17 @@ class SimStats:
                 out[name] = value
         return out
 
-    @classmethod
-    def from_state(cls, state: Dict[str, object]) -> "SimStats":
-        """Rebuild a :class:`SimStats` from :meth:`state_dict` output.
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot *in place*.
 
-        Strict: a state whose field set differs from the current class
+        In place matters: the hierarchy, front end and prefetchers all
+        hold references to this same ``SimStats`` object, so counters
+        must be loaded into it rather than replacing it.  Strict: a
+        state whose field set differs from the current class
         (older/newer schema) raises ``ValueError`` so callers treat the
         payload as stale rather than silently loading partial counters.
         """
-        stats = cls()
-        expected = set(stats.__dict__)
+        expected = set(self.__dict__)
         got = set(state)
         if expected != got:
             missing = expected - got
@@ -174,13 +177,26 @@ class SimStats:
                 f"unknown={sorted(unknown)})"
             )
         for name, value in state.items():
-            current = stats.__dict__[name]
+            current = self.__dict__[name]
             if isinstance(current, list):
                 value = list(value)
             elif isinstance(current, dict):
                 value = dict(value)
-            setattr(stats, name, value)
+            setattr(self, name, value)
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SimStats":
+        """Rebuild a fresh :class:`SimStats` from :meth:`state_dict`."""
+        stats = cls()
+        stats.load_state_dict(state)
         return stats
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        return {
+            "ipc": self.ipc,
+            "l1i_mpki": self.l1i_mpki,
+            "instructions": float(self.instructions),
+        }
 
     def __eq__(self, other: object) -> bool:
         """Field-exact equality (every raw counter identical)."""

@@ -16,7 +16,6 @@ from repro.experiments.runner import (
     run_baseline,
     run_prefetcher,
 )
-from repro.workloads.cache import clear_caches, get_application
 from repro.workloads.suite import requests_for, workload_params
 
 

@@ -155,6 +155,19 @@ def get_cache() -> DiskCache:
     return _DEFAULT
 
 
+def get_warmup_cache() -> DiskCache:
+    """Nested store for warmup machine checkpoints.
+
+    Rooted at ``<root>/warmup`` — its entry files sit two directory
+    levels below the main root, where the main store's ``entries()``
+    glob (``<root>/<shard>/*.pkl``) cannot see them, so result-cache
+    size accounting is unaffected.  Sharing the root means test
+    fixtures and ``REPRO_CACHE_DIR`` redirect both stores together, and
+    ``REPRO_DISK_CACHE=0`` disables both.
+    """
+    return DiskCache(get_cache().root / "warmup")
+
+
 def set_cache_dir(root: Optional[os.PathLike]) -> Optional[Path]:
     """Point the process-wide cache at ``root`` (None = re-resolve from
     the environment on next use).  Returns the previous root so tests

@@ -31,7 +31,7 @@ import json
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import PrefetchReport, compare_run
-from repro.cpu import MachineConfig, simulate
+from repro.cpu import MachineConfig
 from repro.cpu.stats import SimStats
 from repro.experiments import diskcache
 from repro.prefetchers import make_prefetcher
@@ -93,6 +93,25 @@ def _key(workload: str, scale: str, prefetcher: Optional[str],
     ])
 
 
+def _warmup_key(workload: str, scale: str, prefetcher: Optional[str],
+                pf_kwargs: Optional[dict], overrides: Optional[dict],
+                warmup: float, seed: int) -> str:
+    """Checkpoint key for the post-warmup machine snapshot.
+
+    Deliberately excludes ``track_block_misses``: the L2 miss map is
+    observability bookkeeping that is cleared at measurement start, so
+    runs that differ only in tracking share one warmup checkpoint —
+    which is exactly what lets a tracked re-run of an untracked point
+    skip its warmup.
+    """
+    def encode(obj):
+        return json.dumps(obj, sort_keys=True, default=str) if obj else ""
+    return "|".join([
+        "warmup", workload, scale, prefetcher or "fdip", encode(pf_kwargs),
+        encode(overrides), f"{warmup}", f"s{seed}", _config_fingerprint(),
+    ])
+
+
 def cache_key(
     workload: str,
     prefetcher: Optional[str],
@@ -120,6 +139,10 @@ class RunCacheStats:
     disk_hits: int = 0
     simulations: int = 0
     disk_writes: int = 0
+    #: Simulations that restored a warmup checkpoint instead of
+    #: re-running the warmup window.
+    warmup_hits: int = 0
+    warmup_writes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -196,6 +219,55 @@ def seed_cache(key: str, stats: SimStats,
     _CACHE[key] = (stats, miss_map)
 
 
+def peek_cached(key: str) -> Optional[Tuple[SimStats, Optional[dict], str]]:
+    """Probe both cache layers for ``key`` without ever simulating.
+
+    Returns ``(stats, miss_map, source)`` with source ``"memory"`` or
+    ``"disk"`` (disk hits are promoted into the in-process layer), or
+    None on a miss.  This is the supported cross-module probe — the
+    sweep engine uses it to resolve warm points in the parent process
+    without reaching into the runner's private cache dict.
+    """
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached[0], cached[1], "memory"
+    loaded = _disk_load(key)
+    if loaded is not None:
+        _CACHE[key] = loaded
+        return loaded[0], loaded[1], "disk"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Warmup checkpoints
+# ----------------------------------------------------------------------
+def _warmup_load(wkey: str) -> Optional[dict]:
+    """Load a post-warmup machine snapshot, or None."""
+    if not diskcache.disk_cache_enabled():
+        return None
+    payload = diskcache.get_warmup_cache().get(wkey)
+    if payload is None:
+        return None
+    if payload.get("schema") != diskcache.SCHEMA_VERSION:
+        return None
+    if payload.get("key") != wkey:
+        return None
+    state = payload.get("state")
+    return state if isinstance(state, dict) else None
+
+
+def _warmup_store(wkey: str, state: dict) -> None:
+    if not diskcache.disk_cache_enabled():
+        return
+    payload = {
+        "schema": diskcache.SCHEMA_VERSION,
+        "key": wkey,
+        "state": state,
+    }
+    diskcache.get_warmup_cache().put(wkey, payload)
+    _STATS.warmup_writes += 1
+
+
 # ----------------------------------------------------------------------
 # Runners
 # ----------------------------------------------------------------------
@@ -232,13 +304,40 @@ def run_prefetcher(
     config = MachineConfig()
     if overrides:
         config = config.replace(**overrides)
-    pf = make_prefetcher(prefetcher, **(pf_kwargs or {})) if prefetcher else None
     from repro.cpu.simulator import FrontEndSimulator
 
-    sim = FrontEndSimulator(
-        config=config, prefetcher=pf, track_block_misses=track_block_misses
-    )
-    stats = sim.run(trace, warmup_fraction=warmup)
+    def build_sim() -> FrontEndSimulator:
+        pf = (
+            make_prefetcher(prefetcher, **(pf_kwargs or {}))
+            if prefetcher else None
+        )
+        return FrontEndSimulator(
+            config=config, prefetcher=pf,
+            track_block_misses=track_block_misses,
+        )
+
+    sim = build_sim()
+    resumed = False
+    wkey = None
+    if use_cache:
+        wkey = _warmup_key(workload, scale, prefetcher, pf_kwargs,
+                           overrides, warmup, seed)
+        state = _warmup_load(wkey)
+        if state is not None:
+            try:
+                sim.resume(trace, state)
+                resumed = True
+                _STATS.warmup_hits += 1
+            except (ValueError, KeyError, TypeError, IndexError):
+                # Stale/mismatched checkpoint: a partial load may have
+                # corrupted the machine, so fall back to a cold warmup
+                # on a fresh simulator.
+                sim = build_sim()
+    if not resumed:
+        sim.warmup(trace, warmup_fraction=warmup)
+        if use_cache:
+            _warmup_store(wkey, sim.state_dict())
+    stats = sim.measure()
     miss_map = (
         dict(sim.hierarchy.l2_miss_map) if track_block_misses else None
     )
@@ -310,7 +409,8 @@ def perfect_l1i_speedup(workload: str, scale: str = "bench") -> float:
 
 def clear_run_cache(disk: bool = False) -> None:
     """Drop all cached simulation results (in-process; plus the on-disk
-    store when ``disk=True``)."""
+    result and warmup-checkpoint stores when ``disk=True``)."""
     _CACHE.clear()
     if disk and diskcache.disk_cache_enabled():
         diskcache.get_cache().clear()
+        diskcache.get_warmup_cache().clear()

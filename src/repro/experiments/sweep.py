@@ -182,17 +182,11 @@ def sweep(
         for i, point in enumerate(points):
             key = point.key()
             start = time.perf_counter()
-            cached = runner._CACHE.get(key)
-            source = "memory"
-            if cached is None:
-                cached = runner._disk_load(key)
-                source = "disk"
-                if cached is not None:
-                    runner.seed_cache(key, *cached)
-            if cached is None:
+            hit = runner.peek_cached(key)
+            if hit is None:
                 pending.append((i, point))
                 continue
-            stats, miss_map = cached
+            stats, miss_map, source = hit
             runner.record_source(source)
             results[i] = SweepResult(point, stats, miss_map,
                                      time.perf_counter() - start, source)

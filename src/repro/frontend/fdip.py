@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.cpu.component import SimComponent, check_state_fields
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.ittage import ITTagePredictor
 from repro.frontend.ras import ReturnAddressStack
@@ -58,8 +59,13 @@ class FrontEndParams:
     issue_prefetches: bool = True
 
 
-class FDIPFrontEnd:
-    """Decoupled front-end model bound to one trace."""
+class FDIPFrontEnd(SimComponent):
+    """Decoupled front-end model bound to one trace.
+
+    ``penalties`` is the public pending-penalty map (trace index →
+    penalty kind): the simulator's commit loop consumes it via
+    :meth:`penalty_at` (or reads the dict directly in its hot loop).
+    """
 
     def __init__(self, params: FrontEndParams, stats):
         self.params = params
@@ -69,7 +75,7 @@ class FDIPFrontEnd:
         self.ittage = ITTagePredictor()
         self.ras = ReturnAddressStack(params.ras_depth)
         self.hierarchy = None
-        self._flags: Dict[int, int] = {}
+        self.penalties: Dict[int, int] = {}
         self._ptr = 0          # next trace index the runahead will visit
         self._blocked_at = -1  # runahead waits until commit reaches this
         # Bound trace arrays.
@@ -87,12 +93,12 @@ class FDIPFrontEnd:
         self.hierarchy = hierarchy
         self._ptr = 0
         self._blocked_at = -1
-        self._flags.clear()
+        self.penalties.clear()
 
     def penalty_at(self, i: int) -> int:
         """Penalty kind charged when block ``i`` commits (consumed)."""
-        if self._flags:
-            return self._flags.pop(i, PEN_NONE)
+        if self.penalties:
+            return self.penalties.pop(i, PEN_NONE)
         return PEN_NONE
 
     def advance(self, commit_i: int, now: float) -> None:
@@ -122,10 +128,54 @@ class FDIPFrontEnd:
             outcome = self._evaluate(i)
             ptr = i + 1
             if outcome != PEN_NONE:
-                self._flags[i] = outcome
+                self.penalties[i] = outcome
                 self._blocked_at = i
                 break
         self._ptr = ptr
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol
+    # ------------------------------------------------------------------
+    _STATE_FIELDS = ("btb", "tage", "ittage", "ras", "penalties", "ptr",
+                     "blocked_at")
+
+    def reset(self) -> None:
+        self.btb.reset()
+        self.tage.reset()
+        self.ittage.reset()
+        self.ras.reset()
+        self.penalties.clear()
+        self._ptr = 0
+        self._blocked_at = -1
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "btb": self.btb.state_dict(),
+            "tage": self.tage.state_dict(),
+            "ittage": self.ittage.state_dict(),
+            "ras": self.ras.state_dict(),
+            "penalties": dict(self.penalties),
+            "ptr": self._ptr,
+            "blocked_at": self._blocked_at,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        check_state_fields(self, state, self._STATE_FIELDS)
+        self.btb.load_state_dict(state["btb"])
+        self.tage.load_state_dict(state["tage"])
+        self.ittage.load_state_dict(state["ittage"])
+        self.ras.load_state_dict(state["ras"])
+        self.penalties = dict(state["penalties"])
+        self._ptr = state["ptr"]
+        self._blocked_at = state["blocked_at"]
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        out = {"runahead": float(self._ptr)}
+        for name, unit in (("btb", self.btb), ("tage", self.tage),
+                           ("ittage", self.ittage), ("ras", self.ras)):
+            for key, value in unit.stats_snapshot().items():
+                out[f"{name}.{key}"] = value
+        return out
 
     # ------------------------------------------------------------------
     def _evaluate(self, i: int) -> int:

@@ -10,7 +10,9 @@ a prefetched block is a covered miss.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.component import SimComponent, check_state_fields
 
 #: Fill origins.
 ORIGIN_DEMAND = 0
@@ -25,7 +27,7 @@ E_ISSUE = 2
 E_DIRTY = 3
 
 
-class SetAssocCache:
+class SetAssocCache(SimComponent):
     """LRU set-associative cache over abstract block indices."""
 
     def __init__(self, size_bytes: int, assoc: int, block_bytes: int = 64,
@@ -95,6 +97,38 @@ class SetAssocCache:
     def clear(self) -> None:
         for entries in self._sets:
             entries.clear()
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        # Per set: (block, entry) pairs in LRU order (least recent
+        # first), which is exactly the OrderedDict iteration order.
+        return {
+            "sets": [
+                [(block, list(entry)) for block, entry in entries.items()]
+                for entries in self._sets
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        check_state_fields(self, state, ("sets",))
+        sets = state["sets"]
+        if len(sets) != self.n_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"cache has {self.n_sets}"
+            )
+        for entries, saved in zip(self._sets, sets):
+            entries.clear()
+            for block, entry in saved:
+                entries[block] = list(entry)
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        return {"occupancy": len(self) / self.capacity_blocks}
 
     def resident_blocks(self) -> List[int]:
         """All resident block indices (test/analysis helper)."""

@@ -9,12 +9,15 @@ of stalling the core.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Dict
+
+from repro.cpu.component import SimComponent, check_state_fields
 
 #: Page-walk latency in cycles charged on a TLB miss.
 DEFAULT_WALK_LATENCY = 40
 
 
-class InstructionTLB:
+class InstructionTLB(SimComponent):
     """Fully associative LRU I-TLB over page indices."""
 
     def __init__(self, n_entries: int = 128,
@@ -43,6 +46,32 @@ class InstructionTLB:
             entries.popitem(last=False)
         entries[page] = True
         return self.walk_latency
+
+    # ------------------------------------------------------------------
+    # SimComponent protocol
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._entries.clear()
+        self.accesses = 0
+        self.misses = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "pages": list(self._entries),  # LRU order, least recent first
+            "accesses": self.accesses,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        check_state_fields(self, state, ("pages", "accesses", "misses"))
+        self._entries.clear()
+        for page in state["pages"]:
+            self._entries[page] = True
+        self.accesses = state["accesses"]
+        self.misses = state["misses"]
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        return {"resident": float(len(self)), "miss_rate": self.miss_rate}
 
     def __contains__(self, page: int) -> bool:
         return page in self._entries

@@ -13,7 +13,7 @@ accordingly.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import List
 
 from repro.isa.instructions import BranchKind
 from repro.prefetchers.base import InstructionPrefetcher

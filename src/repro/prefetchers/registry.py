@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.prefetchers.base import InstructionPrefetcher
 from repro.prefetchers.efetch import EFetchPrefetcher
 from repro.prefetchers.eip import EIPPrefetcher
 from repro.prefetchers.mana import ManaPrefetcher

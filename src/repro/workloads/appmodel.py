@@ -12,8 +12,8 @@ from everywhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.isa.binary import Binary
 from repro.isa.loader import LoadedProgram

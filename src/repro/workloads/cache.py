@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.workloads.appmodel import Application
 from repro.workloads.suite import build_application, requests_for

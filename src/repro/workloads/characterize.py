@@ -9,7 +9,7 @@ suite's server-like properties.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.footprints import request_footprints, stage_footprints

@@ -22,7 +22,6 @@ from repro.isa.loader import LoadedProgram
 from repro.workloads.appmodel import (
     Application,
     AppParams,
-    StageSpec,
     zipf_weights,
 )
 

@@ -10,7 +10,7 @@ around/above the 512 KB L2.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.workloads.appmodel import Application, AppParams, StageSpec
 from repro.workloads.generator import build_app

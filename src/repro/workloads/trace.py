@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.isa.binary import Binary, Function
+from repro.isa.binary import Function
 from repro.isa.instructions import BranchKind, INSTR_BYTES
 from repro.workloads.appmodel import Application
 
@@ -164,14 +164,21 @@ class TraceBuilder:
                     taken = rand() < blk.taken_prob
                 nxt = blk.taken_next if taken else idx + 1
                 target = func.addr + func.blocks[nxt].offset
-                pc_a.append(pc); nin_a.append(nin); kind_a.append(_COND)
-                taken_a.append(1 if taken else 0); tgt_a.append(target)
+                pc_a.append(pc)
+                nin_a.append(nin)
+                kind_a.append(_COND)
+                taken_a.append(1 if taken else 0)
+                tgt_a.append(target)
                 tag_a.append(0)
                 idx = nxt
             elif kind == _NONE:
                 target = func.addr + func.blocks[idx + 1].offset
-                pc_a.append(pc); nin_a.append(nin); kind_a.append(_NONE)
-                taken_a.append(0); tgt_a.append(target); tag_a.append(0)
+                pc_a.append(pc)
+                nin_a.append(nin)
+                kind_a.append(_NONE)
+                taken_a.append(0)
+                tgt_a.append(target)
+                tag_a.append(0)
                 idx += 1
             elif kind == _CALL or kind == _ICALL:
                 if kind == _CALL:
@@ -197,8 +204,12 @@ class TraceBuilder:
                     callee = binary.get(chosen)
                 target = callee.addr
                 is_tagged = 1 if term in tagged_set else 0
-                pc_a.append(pc); nin_a.append(nin); kind_a.append(kind)
-                taken_a.append(1); tgt_a.append(target); tag_a.append(is_tagged)
+                pc_a.append(pc)
+                nin_a.append(nin)
+                kind_a.append(kind)
+                taken_a.append(1)
+                tgt_a.append(target)
+                tag_a.append(is_tagged)
                 if kind == _CALL and callee.name in dispatch_names:
                     open_stage = (len(pc_a), dispatcher_stage[callee.name])
                 stack.append((func, idx + 1, loops))
@@ -209,8 +220,12 @@ class TraceBuilder:
                 rfunc, ridx, rloops = stack.pop()
                 target = rfunc.addr + rfunc.blocks[ridx].offset
                 is_tagged = 1 if term in tagged_set else 0
-                pc_a.append(pc); nin_a.append(nin); kind_a.append(_RET)
-                taken_a.append(1); tgt_a.append(target); tag_a.append(is_tagged)
+                pc_a.append(pc)
+                nin_a.append(nin)
+                kind_a.append(_RET)
+                taken_a.append(1)
+                tgt_a.append(target)
+                tag_a.append(is_tagged)
                 if rfunc is main and open_stage is not None:
                     start, stage_name = open_stage
                     trace.stage_spans.append(
@@ -221,8 +236,12 @@ class TraceBuilder:
             elif kind == _JUMP:
                 nxt = blk.taken_next
                 target = func.addr + func.blocks[nxt].offset
-                pc_a.append(pc); nin_a.append(nin); kind_a.append(_JUMP)
-                taken_a.append(1); tgt_a.append(target); tag_a.append(0)
+                pc_a.append(pc)
+                nin_a.append(nin)
+                kind_a.append(_JUMP)
+                taken_a.append(1)
+                tgt_a.append(target)
+                tag_a.append(0)
                 idx = nxt
                 if func is main and nxt == 0:
                     requests_done += 1
@@ -237,8 +256,12 @@ class TraceBuilder:
                 nxt = blk.itargets[int(rand() * len(blk.itargets))
                                    % len(blk.itargets)]
                 target = func.addr + func.blocks[nxt].offset
-                pc_a.append(pc); nin_a.append(nin); kind_a.append(_IJUMP)
-                taken_a.append(1); tgt_a.append(target); tag_a.append(0)
+                pc_a.append(pc)
+                nin_a.append(nin)
+                kind_a.append(_IJUMP)
+                taken_a.append(1)
+                tgt_a.append(target)
+                tag_a.append(0)
                 idx = nxt
             else:
                 raise ValueError(f"unhandled kind {kind}")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.isa.instructions import BranchKind
 from repro.workloads.trace import Trace

@@ -44,6 +44,33 @@ class TestCompareFlow:
         assert "hierarchical" in out
 
 
+class TestProbeFlow:
+    def test_table_output(self, capsys):
+        rc = main(["probe", "mysql_sibench", "--scale", "tiny",
+                   "--prefetcher", "hierarchical", "--interval", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "l1i_mpki" in out
+        assert "whole window" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(["probe", "mysql_sibench", "--scale", "tiny",
+                   "--prefetcher", "eip", "--interval", "2000", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "mysql_sibench"
+        assert len(payload["ipc"]) == len(payload["instructions"]) > 0
+        assert all(x > 0 for x in payload["ipc"])
+
+    def test_oversized_interval_fails_cleanly(self, capsys):
+        rc = main(["probe", "mysql_sibench", "--scale", "tiny",
+                   "--interval", "100000000"])
+        assert rc == 1
+        assert "no probe samples" in capsys.readouterr().err
+
+
 class TestSweepParser:
     def test_defaults(self):
         args = build_parser().parse_args(["sweep"])

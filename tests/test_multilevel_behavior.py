@@ -1,13 +1,12 @@
 """Cross-level behavioural tests: inclusive fills, eviction interplay,
 and the fetch-slack contract of the timing model."""
 
-import pytest
 
 from repro.cpu import MachineConfig, simulate
 from repro.cpu.stats import SimStats
 from repro.memory.cache import ORIGIN_PF
 from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
-from tests.helpers import TraceAssembler, linear_trace
+from tests.helpers import TraceAssembler
 
 
 class TestInclusiveFills:

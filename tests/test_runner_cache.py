@@ -219,6 +219,86 @@ class TestDiskCacheStore:
         assert cache.clear() == 0
 
 
+class TestWarmupCheckpoint:
+    """PR 2: the runner persists a post-warmup machine snapshot keyed by
+    (trace, config fingerprint, prefetcher) and later runs of the same
+    point resume from it instead of re-simulating the warmup window —
+    with *exactly* equal SimStats."""
+
+    def test_cold_run_writes_checkpoint(self, cache_dir):
+        run_prefetcher(WORKLOAD, "hierarchical", scale="tiny")
+        s = run_cache_stats()
+        assert s.warmup_writes == 1 and s.warmup_hits == 0
+        assert len(diskcache.get_warmup_cache()) == 1
+        # Warmup checkpoints are invisible to the result store.
+        assert len(diskcache.get_cache()) == 1
+
+    def test_tracked_rerun_skips_warmup_and_is_exact(self, cache_dir):
+        # track_block_misses changes the *result* key but not the
+        # *warmup* key, so the tracked re-run resumes the checkpoint.
+        cold, _ = run_prefetcher(WORKLOAD, "hierarchical", scale="tiny")
+        warm, miss_map = run_prefetcher(
+            WORKLOAD, "hierarchical", scale="tiny", track_block_misses=True)
+        s = run_cache_stats()
+        assert s.simulations == 2 and s.warmup_hits == 1
+        assert s.warmup_writes == 1  # resumed run does not re-store
+        assert warm == cold
+        assert miss_map  # tracking still collected from measurement
+
+    def test_checkpointed_rerun_equals_cold(self, cache_dir):
+        cold, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        # Drop the cached *result* but keep the warmup checkpoint.
+        clear_run_cache()
+        diskcache.get_cache().clear()
+        assert len(diskcache.get_warmup_cache()) == 1
+        reset_run_cache_stats()
+        warm, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        s = run_cache_stats()
+        assert s.simulations == 1 and s.warmup_hits == 1
+        assert warm == cold
+
+    def test_corrupted_checkpoint_falls_back_cold(self, cache_dir):
+        cold, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        (path,) = diskcache.get_warmup_cache().entries()
+        payload = pickle.loads(path.read_bytes())
+        # Mangle the machine state so resume() raises mid-load.
+        payload["state"]["components"] = {"not": "the machine"}
+        path.write_bytes(pickle.dumps(payload))
+        clear_run_cache()
+        diskcache.get_cache().clear()
+        reset_run_cache_stats()
+        warm, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        s = run_cache_stats()
+        assert s.warmup_hits == 0 and s.simulations == 1
+        assert warm == cold  # fell back to a correct cold run
+
+    def test_config_change_misses_checkpoint(self, cache_dir):
+        run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        reset_run_cache_stats()
+        run_prefetcher(WORKLOAD, "eip", scale="tiny",
+                       overrides={"hierarchy.l1i_bytes": 16 * 1024})
+        s = run_cache_stats()
+        assert s.warmup_hits == 0 and s.warmup_writes == 1
+
+    def test_disable_via_env_skips_checkpoints(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        s = run_cache_stats()
+        assert s.warmup_writes == 0
+        assert len(diskcache.get_warmup_cache()) == 0
+
+    def test_no_cache_skips_checkpoints(self, cache_dir):
+        run_prefetcher(WORKLOAD, "eip", scale="tiny", use_cache=False)
+        assert run_cache_stats().warmup_writes == 0
+        assert len(diskcache.get_warmup_cache()) == 0
+
+    def test_clear_run_cache_disk_clears_checkpoints(self, cache_dir):
+        run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        assert len(diskcache.get_warmup_cache()) == 1
+        clear_run_cache(disk=True)
+        assert len(diskcache.get_warmup_cache()) == 0
+
+
 _SECOND_PROCESS = """
 import os, sys
 from repro.experiments.runner import run_prefetcher, run_cache_stats

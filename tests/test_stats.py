@@ -1,6 +1,5 @@
 """Unit tests for SimStats bookkeeping and derived metrics."""
 
-import pytest
 
 from repro.cpu.stats import LEVEL_DRAM, LEVEL_L2, LEVEL_LLC, SimStats
 from repro.memory.cache import ORIGIN_FDIP, ORIGIN_PF

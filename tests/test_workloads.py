@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa.instructions import BranchKind
 from repro.workloads.appmodel import zipf_weights
-from repro.workloads.generator import build_app, generate_binary
+from repro.workloads.generator import generate_binary
 from repro.workloads.suite import (
     SCALES,
     WORKLOAD_NAMES,
@@ -171,7 +171,6 @@ class TestTraceBuilder:
         assert all(isinstance(b, int) for b in fp)
 
     def test_request_of(self, micro_trace):
-        starts = [s for s, _ in micro_trace.requests]
         for (start, rtype) in micro_trace.requests:
             assert micro_trace.request_of(start) == rtype
 
