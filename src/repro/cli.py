@@ -7,6 +7,8 @@ Subcommands::
     repro compare WORKLOAD           run the paper's comparison set
     repro sweep [WORKLOAD...]        parallel cached grid (--jobs N)
     repro probe WORKLOAD             interval IPC/MPKI/accuracy timelines
+    repro bench [NAME...]            performance microbenchmarks
+    repro bench compare BASE NEW     diff two benchmark artifact sets
     repro bundles WORKLOAD           Algorithm 1 report for a workload
     repro characterize WORKLOAD      structural workload profile
     repro trace WORKLOAD -o F.npz    generate + save a trace
@@ -24,7 +26,7 @@ from typing import List, Optional
 
 from repro.analysis.metrics import compare_run
 from repro.analysis.reporting import format_table
-from repro.cpu import MachineConfig, simulate
+from repro.cpu import DEFAULT_WARMUP, MachineConfig, simulate
 from repro.prefetchers import PREFETCHER_NAMES, make_prefetcher
 from repro.workloads.suite import SCALES, WORKLOAD_NAMES, workload_params
 
@@ -34,8 +36,8 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
                         help="trace length preset (default: bench)")
     parser.add_argument("--seed", type=int, default=1,
                         help="trace RNG seed (default: 1)")
-    parser.add_argument("--warmup", type=float, default=0.45,
-                        help="warmup fraction (default: 0.45)")
+    parser.add_argument("--warmup", type=float, default=DEFAULT_WARMUP,
+                        help=f"warmup fraction (default: {DEFAULT_WARMUP})")
 
 
 def _get_trace(args):
@@ -198,6 +200,52 @@ def cmd_probe(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.experiments import bench
+
+    targets = list(args.targets)
+    if targets and targets[0] == "compare":
+        if len(targets) != 3:
+            print("usage: repro bench compare BASE_DIR NEW_DIR "
+                  "[--max-regression PCT]", file=sys.stderr)
+            return 2
+        try:
+            threshold = bench.parse_regression(args.max_regression)
+        except ValueError as exc:
+            print(f"bad --max-regression: {exc}", file=sys.stderr)
+            return 2
+        try:
+            rows, problems = bench.compare_dirs(targets[1], targets[2],
+                                                threshold)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(format_table(
+            ["benchmark", "base_s", "new_s", "delta", "threshold",
+             "status"],
+            rows,
+        ))
+        if problems:
+            print()
+            for message in problems:
+                print(f"FAIL {message}", file=sys.stderr)
+            return 1
+        print(f"\nall benchmarks within {args.max_regression} "
+              "of the baseline")
+        return 0
+    try:
+        bench.run_benchmarks(
+            targets or None, quick=args.quick, repeats=args.repeats,
+            out_dir=args.out, progress=print,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out:
+        print(f"\nartifacts written to {args.out}/")
+    return 0
+
+
 def cmd_bundles(args) -> int:
     from repro.core.bundles import identify_bundles
     from repro.workloads.cache import get_application
@@ -319,6 +367,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the timelines as JSON")
     _add_scale(probe)
 
+    bench = sub.add_parser(
+        "bench",
+        help="run performance microbenchmarks / compare artifact sets",
+    )
+    bench.add_argument(
+        "targets", nargs="*", metavar="NAME",
+        help="benchmarks to run (default: all), or 'compare BASE NEW'",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI preset: tiny scale, fewer repeats")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timing repeats (default: 3 quick, 5 full)")
+    bench.add_argument("--out", default=None, metavar="DIR",
+                       help="write BENCH_<name>.json artifacts here")
+    bench.add_argument("--max-regression", default="15%",
+                       help="compare mode: allowed median slowdown "
+                            "(e.g. '15%%' or '0.15'; default: 15%%)")
+
     bundles = sub.add_parser("bundles", help="Algorithm 1 report")
     bundles.add_argument("workload", choices=WORKLOAD_NAMES)
     bundles.add_argument("--threshold", type=int, default=0,
@@ -342,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("file", help="trace .npz path")
     replay.add_argument("--prefetcher", default="hierarchical",
                         choices=PREFETCHER_NAMES)
-    replay.add_argument("--warmup", type=float, default=0.45)
+    replay.add_argument("--warmup", type=float, default=DEFAULT_WARMUP)
     return parser
 
 
@@ -352,6 +418,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "probe": cmd_probe,
+    "bench": cmd_bench,
     "bundles": cmd_bundles,
     "characterize": cmd_characterize,
     "trace": cmd_trace,

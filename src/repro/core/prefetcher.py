@@ -122,6 +122,22 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
             span=cfg.region_blocks,
         )
         self._to_l2 = cfg.target_level == "l2"
+        self._paced = cfg.paced
+        self._track = cfg.track_bundles
+        self._issue_per = cfg.issue_per_commit
+        # Commit-hot trace arrays (incl. the precomputed decode tables);
+        # wiring, not state — attach() binds the trace before reset().
+        tr = self.trace
+        if tr is not None:
+            self._nin_a = tr.ninstr
+            self._kind_a = tr.kind
+            self._tgt_a = tr.target
+            self._tag_a = tr.tagged
+            self._b0_a = tr.block0
+            self._b1_a = tr.block1
+        else:
+            self._nin_a = self._kind_a = self._tgt_a = None
+            self._tag_a = self._b0_a = self._b1_a = None
         self._bundle_insts = 0
         self._fifo: list = []          # (block, extra_latency) pending issue
         self._fifo_pos = 0
@@ -147,15 +163,13 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
     # Simulator hooks
     # ------------------------------------------------------------------
     def on_commit(self, i: int, now: float) -> None:
-        trace = self.trace
-        pc = trace.pc[i]
-        nin = trace.ninstr[i]
+        nin = self._nin_a[i]
         self._now = now
         self._commit_i = i
         # Record path: feed the Compression Buffer with this block's
         # cache lines.
-        b0 = pc >> 6
-        b1 = (pc + nin * 4 - 1) >> 6
+        b0 = self._b0_a[i]
+        b1 = self._b1_a[i]
         compression = self.compression
         if b0 != self._last_block:
             compression.observe(b0)
@@ -166,21 +180,21 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
         record = self.record
         if record.active:
             record.observe_instructions(nin)
-        if self.config.track_bundles and self._current_footprint is not None:
+        if self._track and self._current_footprint is not None:
             self._current_footprint.add(b0)
             if b1 != b0:
                 self._current_footprint.add(b1)
         # Replay path: release newly eligible segments, drain the FIFO.
         replay = self.replay
         if replay.active:
-            pace = self._bundle_insts if self.config.paced else 1 << 60
+            pace = self._bundle_insts if self._paced else 1 << 60
             for view in replay.take_eligible(pace):
                 self._stage_segment(view, now)
         if self._fifo_pos < len(self._fifo):
             self._drain_fifo(now, i)
         # Trigger path: tagged call/return commits end/start Bundles.
-        if trace.tagged[i] and trace.kind[i] in _TRIGGER_KINDS:
-            self._on_tagged(trace.target[i], now)
+        if self._tag_a[i] and self._kind_a[i] in _TRIGGER_KINDS:
+            self._on_tagged(self._tgt_a[i], now)
 
     # ------------------------------------------------------------------
     # Bundle lifecycle
@@ -265,7 +279,7 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
     def _drain_fifo(self, now: float, i: int) -> None:
         fifo = self._fifo
         pos = self._fifo_pos
-        end = min(len(fifo), pos + self.config.issue_per_commit)
+        end = min(len(fifo), pos + self._issue_per)
         issue = self.issue
         to_l2 = self._to_l2
         while pos < end:

@@ -10,7 +10,6 @@ number of instructions executed inside the Bundle surpasses the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.compression import SpatialRegion
@@ -18,19 +17,27 @@ from repro.core.metadata import MetadataBuffer
 from repro.cpu.component import SimComponent, check_state_fields
 
 
-@dataclass
 class SegmentView:
     """Immutable snapshot of one segment taken at replay start.
 
     Replay snapshots the chain because the concurrent record engine
     supersedes the same segments in place; in hardware the replay stream
     races ahead of the (compression-buffer-delayed) writes, which the
-    snapshot models.
+    snapshot models.  A slotted plain class: replay starts allocate one
+    per live segment on the simulator's hot path.
     """
 
-    index: int
-    regions: List[SpatialRegion]
-    num_insts: int
+    __slots__ = ("index", "regions", "num_insts")
+
+    def __init__(self, index: int, regions: List[SpatialRegion],
+                 num_insts: int):
+        self.index = index
+        self.regions = regions
+        self.num_insts = num_insts
+
+    def __repr__(self) -> str:
+        return (f"SegmentView(index={self.index}, "
+                f"regions={len(self.regions)}, num_insts={self.num_insts})")
 
 
 class ReplayEngine(SimComponent):

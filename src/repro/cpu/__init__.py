@@ -8,7 +8,7 @@ configurations produce identical cycle counts.
 """
 
 from repro.cpu.component import ComponentRegistry, SimComponent
-from repro.cpu.config import CoreConfig, MachineConfig
+from repro.cpu.config import DEFAULT_WARMUP, CoreConfig, MachineConfig
 from repro.cpu.probes import ProbeBus
 from repro.cpu.simulator import FrontEndSimulator, simulate
 from repro.cpu.stats import SimStats
@@ -29,6 +29,7 @@ __all__ = [
     "SimComponent",
     "ProbeBus",
     "CoreConfig",
+    "DEFAULT_WARMUP",
     "MachineConfig",
     "FrontEndSimulator",
     "simulate",

@@ -14,6 +14,13 @@ from dataclasses import dataclass, field
 from repro.frontend.fdip import FrontEndParams
 from repro.memory.hierarchy import HierarchyParams
 
+#: Warmup fraction shared by every entry point (simulator defaults, the
+#: CLI ``--warmup`` flags, and the experiment runner).  The paper warms
+#: 100M of 200M instructions; our preheated traces need a little less
+#: than half.  Single source of truth — change it here only (pinned by
+#: tests/test_bench.py).
+DEFAULT_WARMUP = 0.45
+
 
 @dataclass
 class CoreConfig:

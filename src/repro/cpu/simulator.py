@@ -35,7 +35,7 @@ from typing import Dict, Optional
 
 from repro.cpu.component import ComponentRegistry, SimComponent, \
     check_state_fields
-from repro.cpu.config import MachineConfig
+from repro.cpu.config import DEFAULT_WARMUP, MachineConfig
 from repro.cpu.probes import ProbeBus
 from repro.cpu.stats import SimStats
 from repro.frontend.fdip import FDIPFrontEnd, PEN_BTB_MISS, PEN_MISPREDICT
@@ -90,12 +90,12 @@ class FrontEndSimulator(SimComponent):
     # ------------------------------------------------------------------
     # Run lifecycle
     # ------------------------------------------------------------------
-    def run(self, trace, warmup_fraction: float = 0.45) -> SimStats:
+    def run(self, trace, warmup_fraction: float = DEFAULT_WARMUP) -> SimStats:
         """Simulate ``trace``; return measured-window statistics."""
         self.warmup(trace, warmup_fraction)
         return self.measure()
 
-    def warmup(self, trace, warmup_fraction: float = 0.45) -> int:
+    def warmup(self, trace, warmup_fraction: float = DEFAULT_WARMUP) -> int:
         """Bind ``trace`` and run the warmup window.
 
         Returns the warmup-end trace index.  The machine state at
@@ -198,9 +198,19 @@ class FrontEndSimulator(SimComponent):
         self.probes.publish(stats)
 
     def _run_range(self, start: int, end: int) -> None:
+        # The commit loop.  Everything it touches per iteration is a
+        # local: bound methods, the trace's precomputed decode tables,
+        # and scalar accumulators that are flushed into SimStats once at
+        # the end of the range (the probe bus only samples at range
+        # boundaries, so chunk-local accumulation is observably
+        # equivalent).  ``self.now`` is still published before each
+        # prefetcher ``on_commit`` — EIP's ``on_miss`` reads ``sim.now``
+        # and must keep seeing the previous block's commit time.
         trace = self.trace
-        pc_arr = trace.pc
         nin_arr = trace.ninstr
+        b0_arr = trace.block0
+        b1_arr = trace.block1
+        page_arr = trace.page
         stats = self.stats
         frontend = self.frontend
         hierarchy = self.hierarchy
@@ -214,6 +224,7 @@ class FrontEndSimulator(SimComponent):
         advance = frontend.advance
         translate = itlb.translate
         penalties = frontend.penalties
+        penalties_pop = penalties.pop
         on_commit = prefetcher.on_commit if prefetcher is not None else None
         on_miss = prefetcher.on_miss if prefetcher is not None else None
         on_mispredict = (
@@ -222,26 +233,29 @@ class FrontEndSimulator(SimComponent):
         now = self.now
         last_block = self._last_block
         last_page = self._last_page
+        instructions = 0
+        stall_itlb = 0.0
+        stall_fetch = 0.0
+        stall_mispredict = 0.0
         for i in range(start, end):
             advance(i, now)
-            pc = pc_arr[i]
             nin = nin_arr[i]
-            page = pc >> 12
+            page = page_arr[i]
             if page != last_page:
                 walk = translate(page)
                 if walk:
                     now += walk
-                    stats.stall_itlb += walk
+                    stall_itlb += walk
                 last_page = page
-            b0 = pc >> 6
-            b1 = (pc + nin * 4 - 1) >> 6
+            b0 = b0_arr[i]
+            b1 = b1_arr[i]
             if b0 != last_block:
                 stall = demand_fetch(b0, now, i)
                 if stall:
                     if stall > slack:
                         exposed = stall - slack
                         now += exposed
-                        stats.stall_fetch += exposed
+                        stall_fetch += exposed
                     if on_miss is not None:
                         on_miss(b0, i, stall)
             if b1 != b0:
@@ -250,7 +264,7 @@ class FrontEndSimulator(SimComponent):
                     if stall > slack:
                         exposed = stall - slack
                         now += exposed
-                        stats.stall_fetch += exposed
+                        stall_fetch += exposed
                     if on_miss is not None:
                         on_miss(b1, i, stall)
                 last_block = b1
@@ -258,23 +272,27 @@ class FrontEndSimulator(SimComponent):
                 last_block = b0
             now += nin * inv_width
             if penalties:
-                pen = penalties.pop(i, 0)
+                pen = penalties_pop(i, 0)
                 if pen:
                     if pen == PEN_MISPREDICT:
                         now += mispredict_penalty
-                        stats.stall_mispredict += mispredict_penalty
+                        stall_mispredict += mispredict_penalty
                         if on_mispredict is not None:
                             on_mispredict(i)
                     elif pen == PEN_BTB_MISS:
                         now += btb_miss_penalty
-                        stats.stall_mispredict += btb_miss_penalty
-            stats.instructions += nin
-            stats.blocks += 1
-            self.commit_index = i
+                        stall_mispredict += btb_miss_penalty
+            instructions += nin
             if on_commit is not None:
                 self.now = now
                 on_commit(i, now)
+        stats.instructions += instructions
+        stats.blocks += end - start
+        stats.stall_itlb += stall_itlb
+        stats.stall_fetch += stall_fetch
+        stats.stall_mispredict += stall_mispredict
         self.now = now
+        self.commit_index = end - 1 if end > start else self.commit_index
         self._last_block = last_block
         self._last_page = last_page
 
@@ -344,7 +362,7 @@ def simulate(
     trace,
     config: Optional[MachineConfig] = None,
     prefetcher=None,
-    warmup_fraction: float = 0.45,
+    warmup_fraction: float = DEFAULT_WARMUP,
     track_block_misses: bool = False,
     probe_interval: int = 0,
 ) -> SimStats:

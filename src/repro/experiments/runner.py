@@ -32,15 +32,19 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import PrefetchReport, compare_run
 from repro.cpu import MachineConfig
+from repro.cpu.config import DEFAULT_WARMUP
 from repro.cpu.stats import SimStats
 from repro.experiments import diskcache
 from repro.prefetchers import make_prefetcher
 from repro.workloads.cache import get_trace
 
-#: Warmup fraction used by every experiment (the paper warms 100M of
-#: 200M instructions; our preheated traces need a little less than
-#: half).
-DEFAULT_WARMUP = 0.45
+__all__ = [
+    "DEFAULT_WARMUP",  # re-exported from repro.cpu.config (the source)
+    "REPRESENTATIVE_WORKLOADS", "RunCacheStats", "cache_key",
+    "run_prefetcher", "run_baseline", "compare_all",
+    "perfect_l1i_speedup", "run_cache_stats", "reset_run_cache_stats",
+    "record_source", "seed_cache", "peek_cached", "clear_run_cache",
+]
 
 #: Subset used by parameter sweeps where running all 11 workloads per
 #: point would be prohibitive: two web stacks and two databases.

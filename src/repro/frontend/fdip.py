@@ -78,9 +78,13 @@ class FDIPFrontEnd(SimComponent):
         self.penalties: Dict[int, int] = {}
         self._ptr = 0          # next trace index the runahead will visit
         self._blocked_at = -1  # runahead waits until commit reaches this
-        # Bound trace arrays.
+        # Bound trace arrays (incl. the precomputed decode tables).
         self._pc = self._nin = self._kind = self._taken = self._tgt = None
+        self._b0 = self._b1 = self._term = None
         self._n = 0
+        # Bind-time constants hoisted out of the per-commit advance().
+        self._ftq = params.ftq_entries
+        self._issue = False
 
     def bind(self, trace, hierarchy) -> None:
         """Attach the front end to a trace and the memory hierarchy."""
@@ -89,8 +93,13 @@ class FDIPFrontEnd(SimComponent):
         self._kind = trace.kind
         self._taken = trace.taken
         self._tgt = trace.target
+        self._b0 = trace.block0
+        self._b1 = trace.block1
+        self._term = trace.term
         self._n = len(trace)
         self.hierarchy = hierarchy
+        self._ftq = self.params.ftq_entries
+        self._issue = self.params.issue_prefetches and hierarchy is not None
         self._ptr = 0
         self._blocked_at = -1
         self.penalties.clear()
@@ -107,27 +116,32 @@ class FDIPFrontEnd(SimComponent):
             if commit_i < self._blocked_at:
                 return
             self._blocked_at = -1
-        limit = commit_i + self.params.ftq_entries
+        limit = commit_i + self._ftq
         n = self._n
         if limit >= n:
             limit = n - 1
-        pc = self._pc
-        nin = self._nin
-        issue = self.params.issue_prefetches and self.hierarchy is not None
-        hier = self.hierarchy
         ptr = self._ptr
+        if ptr > limit:
+            return
+        b0_arr = self._b0
+        b1_arr = self._b1
+        kind_arr = self._kind
+        issue = self._issue
+        hier = self.hierarchy
+        prefetch = hier.prefetch if issue else None
+        evaluate = self._evaluate
         while ptr <= limit:
             i = ptr
             if issue and i > commit_i:
-                addr = pc[i]
-                b0 = addr >> 6
-                b1 = (addr + nin[i] * 4 - 1) >> 6
-                hier.prefetch(b0, now, ORIGIN_FDIP, issue_index=commit_i)
+                b0 = b0_arr[i]
+                b1 = b1_arr[i]
+                prefetch(b0, now, ORIGIN_FDIP, issue_index=commit_i)
                 if b1 != b0:
-                    hier.prefetch(b1, now, ORIGIN_FDIP, issue_index=commit_i)
-            outcome = self._evaluate(i)
+                    prefetch(b1, now, ORIGIN_FDIP, issue_index=commit_i)
             ptr = i + 1
-            if outcome != PEN_NONE:
+            # Non-branch blocks (the common case) have no terminator to
+            # predict and can never stall the runahead.
+            if kind_arr[i] and (outcome := evaluate(i)) != PEN_NONE:
                 self.penalties[i] = outcome
                 self._blocked_at = i
                 break
@@ -184,8 +198,7 @@ class FDIPFrontEnd(SimComponent):
         if kind == 0:  # BranchKind.NONE
             return PEN_NONE
         stats = self.stats
-        pc = self._pc[i]
-        term = pc + (self._nin[i] - 1) * 4
+        term = self._term[i]
         target = self._tgt[i]
         if kind == _COND:
             taken = self._taken[i] != 0

@@ -6,6 +6,17 @@ lengths.  Prediction comes from the longest-history matching table;
 allocation on mispredictions steals a not-useful entry from a longer
 table.  The implementation fuses predict+update into one call — the
 simulator evaluates every branch exactly once, in trace order.
+
+Index/tag hashes fold the global history register into table-sized
+chunks.  Folding the full history on every prediction is the simulator's
+single hottest computation, so each (history length, output width) pair
+keeps an incrementally maintained *folded register* — Seznec's circular
+shift register: when the GHR shifts in outcome bit ``b`` and drops bit
+``L-1``, the folded value is rotated by one with ``b`` XORed in at bit 0
+and the dropped bit XORed out at position ``L mod B``.  The registers
+are exactly equal to :meth:`TagePredictor._fold` of the current GHR at
+all times (pinned by tests/test_frontend_units.py), and are rebuilt from
+the GHR on ``load_state_dict`` so the snapshot schema is unchanged.
 """
 
 from __future__ import annotations
@@ -25,6 +36,8 @@ DEFAULT_TABLES: Tuple[Tuple[int, int, int], ...] = (
 
 class _Xorshift:
     """Tiny deterministic PRNG for allocation tie-breaking."""
+
+    __slots__ = ("state",)
 
     def __init__(self, seed: int = 0x2545F491):
         self.state = seed or 1
@@ -58,7 +71,24 @@ class TagePredictor(SimComponent):
         self.ctr: List[List[int]] = [[0] * size for size, _, _ in self.tables]
         self.tag: List[List[int]] = [[-1] * size for size, _, _ in self.tables]
         self.useful: List[List[int]] = [[0] * size for size, _, _ in self.tables]
+        # Per-table hash geometry: (size mask, log2 size, tag mask).
+        self._geom: List[Tuple[int, int, int]] = []
+        # Per-table folded-register update constants:
+        # (L-1, pos/width/mask for the index fold, the tag fold, and the
+        # tag-1 fold), where pos = L mod width.
+        self._fold_meta: List[Tuple[int, ...]] = []
+        for size, hist_len, tag_bits in self.tables:
+            log_size = size.bit_length() - 1
+            self._geom.append((size - 1, log_size, (1 << tag_bits) - 1))
+            meta: List[int] = [hist_len - 1]
+            for width in (log_size, tag_bits, tag_bits - 1):
+                meta += [hist_len % width, width, (1 << width) - 1]
+            self._fold_meta.append(tuple(meta))
         self.ghr = 0
+        self._f_idx: List[int] = []
+        self._f_tag: List[int] = []
+        self._f_tag2: List[int] = []
+        self._rebuild_folds()
         self._rng = _Xorshift()
         self.predictions = 0
         self.mispredictions = 0
@@ -72,7 +102,16 @@ class TagePredictor(SimComponent):
             value >>= out_bits
         return folded
 
+    def _rebuild_folds(self) -> None:
+        """Recompute every folded register directly from the GHR."""
+        ghr = self.ghr
+        self._f_idx = [self._fold(ghr, h, s.bit_length() - 1)
+                       for s, h, _ in self.tables]
+        self._f_tag = [self._fold(ghr, h, tb) for _, h, tb in self.tables]
+        self._f_tag2 = [self._fold(ghr, h, tb - 1) for _, h, tb in self.tables]
+
     def _index_tag(self, pc: int, table: int) -> Tuple[int, int]:
+        """Reference index/tag hash (the folded registers reproduce it)."""
         size, hist_len, tag_bits = self.tables[table]
         log_size = size.bit_length() - 1
         pc_h = pc >> 2
@@ -86,25 +125,35 @@ class TagePredictor(SimComponent):
         """Predict branch ``pc``, learn outcome ``taken``; return
         True when the prediction was correct."""
         self.predictions += 1
-        ntables = len(self.tables)
+        geom = self._geom
+        f_idx = self._f_idx
+        f_tag = self._f_tag
+        f_tag2 = self._f_tag2
+        tag_tables = self.tag
+        ctr_tables = self.ctr
+        ntables = len(geom)
         idxs = [0] * ntables
         tags = [0] * ntables
         provider = -1
         alt = -1
+        pc_h = pc >> 2
         for t in range(ntables - 1, -1, -1):
-            idx, tg = self._index_tag(pc, t)
-            idxs[t], tags[t] = idx, tg
-            if self.tag[t][idx] == tg:
+            size_mask, log_size, tag_mask = geom[t]
+            idx = (pc_h ^ (pc_h >> log_size) ^ f_idx[t]) & size_mask
+            tg = (pc_h ^ f_tag[t] ^ (f_tag2[t] << 1)) & tag_mask
+            idxs[t] = idx
+            tags[t] = tg
+            if tag_tables[t][idx] == tg:
                 if provider < 0:
                     provider = t
                 elif alt < 0:
                     alt = t
-        bim_idx = (pc >> 2) & self.bimodal_mask
+        bim_idx = pc_h & self.bimodal_mask
         bim_pred = self.bimodal[bim_idx] >= 2
         if provider >= 0:
-            pred = self.ctr[provider][idxs[provider]] >= 0
+            pred = ctr_tables[provider][idxs[provider]] >= 0
             alt_pred = (
-                self.ctr[alt][idxs[alt]] >= 0 if alt >= 0 else bim_pred
+                ctr_tables[alt][idxs[alt]] >= 0 if alt >= 0 else bim_pred
             )
         else:
             pred = alt_pred = bim_pred
@@ -112,7 +161,7 @@ class TagePredictor(SimComponent):
 
         # --- update ---
         if provider >= 0:
-            ctr = self.ctr[provider]
+            ctr = ctr_tables[provider]
             i = idxs[provider]
             if taken:
                 if ctr[i] < 3:
@@ -136,7 +185,28 @@ class TagePredictor(SimComponent):
         if not correct:
             self.mispredictions += 1
             self._allocate(provider, idxs, tags, taken)
-        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & ((1 << 64) - 1)
+        # --- GHR shift + incremental folded-register update ---
+        b = 1 if taken else 0
+        ghr = self.ghr
+        for t in range(ntables):
+            (lm1, p0, w0, m0, p1, w1, m1, p2, w2, m2) = self._fold_meta[t]
+            o = (ghr >> lm1) & 1
+            f = (f_idx[t] << 1) | b
+            if o:
+                f ^= 1 << p0
+            f ^= f >> w0
+            f_idx[t] = f & m0
+            f = (f_tag[t] << 1) | b
+            if o:
+                f ^= 1 << p1
+            f ^= f >> w1
+            f_tag[t] = f & m1
+            f = (f_tag2[t] << 1) | b
+            if o:
+                f ^= 1 << p2
+            f ^= f >> w2
+            f_tag2[t] = f & m2
+        self.ghr = ((ghr << 1) | b) & ((1 << 64) - 1)
         return correct
 
     def _allocate(self, provider: int, idxs: List[int], tags: List[int],
@@ -184,6 +254,7 @@ class TagePredictor(SimComponent):
             self.tag[t] = [-1] * size
             self.useful[t] = [0] * size
         self.ghr = 0
+        self._rebuild_folds()
         self._rng = _Xorshift()
         self.predictions = 0
         self.mispredictions = 0
@@ -211,6 +282,7 @@ class TagePredictor(SimComponent):
         self.tag = [list(t) for t in state["tag"]]
         self.useful = [list(t) for t in state["useful"]]
         self.ghr = state["ghr"]
+        self._rebuild_folds()
         self._rng.state = state["rng"]
         self.predictions = state["predictions"]
         self.mispredictions = state["mispredictions"]

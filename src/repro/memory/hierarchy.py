@@ -70,6 +70,16 @@ class MemoryHierarchy(SimComponent):
         self.l1i = SetAssocCache(p.l1i_bytes, p.l1i_assoc, p.block_bytes, "L1I")
         self.l2 = SetAssocCache(p.l2_bytes, p.l2_assoc, p.block_bytes, "L2")
         self.llc = SetAssocCache(p.llc_bytes, p.llc_assoc, p.block_bytes, "LLC")
+        # Hot-path constants (params are immutable after construction).
+        self._lat_l2 = float(p.lat_l2)
+        self._lat_llc = float(p.lat_llc)
+        self._lat_dram = float(p.lat_dram)
+        self._level_lat = {LEVEL_L2: self._lat_l2, LEVEL_LLC: self._lat_llc,
+                           LEVEL_DRAM: self._lat_dram}
+        self._block_bytes = p.block_bytes
+        self._pf_mshrs = p.pf_mshrs
+        self._pf_queue = p.pf_queue
+        self._perfect = p.perfect_l1i
         self._inflight: dict = {}
         self._heap: list = []
         self._pending: deque = deque()
@@ -90,7 +100,7 @@ class MemoryHierarchy(SimComponent):
         stats = self.stats
         stats.demand_accesses += 1
         self.access_clock += 1
-        if self.params.perfect_l1i:
+        if self._perfect:
             stats.l1i_hits += 1
             return 0.0
         if self._heap and self._heap[0][0] <= now:
@@ -140,7 +150,7 @@ class MemoryHierarchy(SimComponent):
             stats.exposed_latency[level] += stall
             # An MSHR hit whose residual latency exceeds an L2 hit is,
             # behaviourally, an L2 miss.
-            if stall > self.params.lat_l2:
+            if stall > self._lat_l2:
                 stats.l2_demand_misses += 1
                 if self.l2_miss_map is not None:
                     self.l2_miss_map[block] = self.l2_miss_map.get(block, 0) + 1
@@ -148,7 +158,7 @@ class MemoryHierarchy(SimComponent):
         # True miss: probe downwards.
         entry = self.l2.lookup(block)
         if entry is not None:
-            level, latency = LEVEL_L2, float(self.params.lat_l2)
+            level, latency = LEVEL_L2, self._lat_l2
             if not entry[E_USED]:
                 origin = entry[E_ORIGIN]
                 entry[E_USED] = True
@@ -160,12 +170,12 @@ class MemoryHierarchy(SimComponent):
                 self.l2_miss_map[block] = self.l2_miss_map.get(block, 0) + 1
             llc_entry = self.llc.lookup(block)
             if llc_entry is not None:
-                level, latency = LEVEL_LLC, float(self.params.lat_llc)
+                level, latency = LEVEL_LLC, self._lat_llc
             else:
-                level, latency = LEVEL_DRAM, float(self.params.lat_dram)
-                stats.dram_read_bytes += self.params.block_bytes
+                level, latency = LEVEL_DRAM, self._lat_dram
+                stats.dram_read_bytes += self._block_bytes
                 self._llc_insert(block)
-            stats.uncore_fill_bytes += self.params.block_bytes
+            stats.uncore_fill_bytes += self._block_bytes
             self.l2.insert(block, ORIGIN_DEMAND, used=True)
         stats.served_by[level] += 1
         stats.exposed_latency[level] += latency
@@ -192,7 +202,7 @@ class MemoryHierarchy(SimComponent):
         in flight) and requests beyond the pending-queue capacity are
         dropped.
         """
-        if self.params.perfect_l1i:
+        if self._perfect:
             return False
         stats = self.stats
         if self._heap and self._heap[0][0] <= now:
@@ -201,7 +211,7 @@ class MemoryHierarchy(SimComponent):
         if target.peek(block) is not None or block in self._inflight:
             stats.pf_redundant[origin] += 1
             return False
-        if len(self._pending) >= self.params.pf_queue:
+        if len(self._pending) >= self._pf_queue:
             stats.pf_dropped[origin] += 1
             return False
         # Stamp with the demand-access clock: trigger-to-use distance is
@@ -233,21 +243,21 @@ class MemoryHierarchy(SimComponent):
 
     def _metadata_access(self, base_line: int, n_lines: int, write: bool) -> float:
         stats = self.stats
-        nbytes = n_lines * self.params.block_bytes
+        nbytes = n_lines * self._block_bytes
         if write:
             stats.metadata_write_bytes += nbytes
         else:
             stats.metadata_read_bytes += nbytes
-        worst = float(self.params.lat_llc)
+        worst = self._lat_llc
         for i in range(n_lines):
             line = METADATA_REGION_BLOCK + base_line + i
             entry = self.llc.lookup(line)
             if entry is None:
-                worst = float(self.params.lat_dram)
+                worst = self._lat_dram
                 if not write:
                     # Write misses allocate without a fill read (full-line
                     # writes); read misses fetch the line from DRAM.
-                    stats.dram_read_bytes += self.params.block_bytes
+                    stats.dram_read_bytes += self._block_bytes
                 self._llc_insert(line, dirty=write)
             elif write:
                 entry[E_DIRTY] = True
@@ -363,26 +373,27 @@ class MemoryHierarchy(SimComponent):
     def _try_issue(self, now: float) -> None:
         pending = self._pending
         inflight = self._inflight
-        limit = self.params.pf_mshrs
+        stats = self.stats
+        limit = self._pf_mshrs
         while pending and len(inflight) < limit:
             block, origin, extra, to_l2, issue_index = pending.popleft()
             target = self.l2 if to_l2 else self.l1i
             if target.peek(block) is not None or block in inflight:
-                self.stats.pf_redundant[origin] += 1
+                stats.pf_redundant[origin] += 1
                 continue
             entry = self.l2.peek(block) if not to_l2 else None
             if entry is not None:
-                level, latency = LEVEL_L2, float(self.params.lat_l2)
+                level, latency = LEVEL_L2, self._lat_l2
             elif self.llc.peek(block) is not None:
                 self.llc.lookup(block)  # LRU touch
-                level, latency = LEVEL_LLC, float(self.params.lat_llc)
-                self.stats.uncore_fill_bytes += self.params.block_bytes
+                level, latency = LEVEL_LLC, self._lat_llc
+                stats.uncore_fill_bytes += self._block_bytes
                 if not to_l2:
                     self.l2.insert(block, origin)
             else:
-                level, latency = LEVEL_DRAM, float(self.params.lat_dram)
-                self.stats.dram_read_bytes += self.params.block_bytes
-                self.stats.uncore_fill_bytes += self.params.block_bytes
+                level, latency = LEVEL_DRAM, self._lat_dram
+                stats.dram_read_bytes += self._block_bytes
+                stats.uncore_fill_bytes += self._block_bytes
                 self._llc_insert(block)
                 if not to_l2:
                     self.l2.insert(block, origin)
@@ -391,14 +402,10 @@ class MemoryHierarchy(SimComponent):
                     False, to_l2, self._fill_seq]
             inflight[block] = fill
             heapq.heappush(self._heap, (fill[F_READY], block, self._fill_seq))
-            self.stats.pf_issued[origin] += 1
+            stats.pf_issued[origin] += 1
 
     def _level_latency(self, level: str) -> float:
-        if level == LEVEL_L2:
-            return float(self.params.lat_l2)
-        if level == LEVEL_LLC:
-            return float(self.params.lat_llc)
-        return float(self.params.lat_dram)
+        return self._level_lat.get(level, self._lat_dram)
 
     def _llc_insert(self, block: int, dirty: bool = False) -> None:
         evicted = self.llc.insert(block, ORIGIN_DEMAND, used=True)
@@ -407,7 +414,7 @@ class MemoryHierarchy(SimComponent):
             if entry is not None:
                 entry[E_DIRTY] = True
         if evicted is not None and evicted[1][E_DIRTY]:
-            self.stats.dram_write_bytes += self.params.block_bytes
+            self.stats.dram_write_bytes += self._block_bytes
 
     def _account_l1_eviction(self, entry: list) -> None:
         if not entry[E_USED]:

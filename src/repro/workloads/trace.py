@@ -37,6 +37,12 @@ class Trace:
     * ``taken`` — 1 if a COND terminator was taken;
     * ``target`` — address of the next executed block;
     * ``tagged`` — 1 if the terminator carries the Bundle tag bit.
+
+    Derived *decode tables* (``block0``, ``block1``, ``page``, ``term``)
+    are computed lazily in one pass and cached on the trace: every
+    consumer of the commit stream (the simulator's hot loop, the FDIP
+    runahead, commit-driven prefetchers) indexes them instead of
+    re-deriving cache-block and page indices per committed block.
     """
 
     def __init__(self) -> None:
@@ -51,9 +57,53 @@ class Trace:
         #: (start index, end index exclusive, stage name, request type).
         self.stage_spans: List[Tuple[int, int, str, int]] = []
         self.n_instructions = 0
+        self._block0: Optional[List[int]] = None
+        self._block1: Optional[List[int]] = None
+        self._page: Optional[List[int]] = None
+        self._term: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return len(self.pc)
+
+    # ------------------------------------------------------------------
+    # Precomputed decode tables
+    # ------------------------------------------------------------------
+    def _decode(self) -> None:
+        pc = self.pc
+        nin = self.ninstr
+        ib = INSTR_BYTES
+        self._block0 = [a >> 6 for a in pc]
+        self._block1 = [(a + n * ib - 1) >> 6 for a, n in zip(pc, nin)]
+        self._page = [a >> 12 for a in pc]
+        self._term = [a + (n - 1) * ib for a, n in zip(pc, nin)]
+
+    @property
+    def block0(self) -> List[int]:
+        """First cache-block index per trace block (``pc >> 6``)."""
+        if self._block0 is None:
+            self._decode()
+        return self._block0
+
+    @property
+    def block1(self) -> List[int]:
+        """Last cache-block index per trace block."""
+        if self._block1 is None:
+            self._decode()
+        return self._block1
+
+    @property
+    def page(self) -> List[int]:
+        """4 KiB page index per trace block (``pc >> 12``)."""
+        if self._page is None:
+            self._decode()
+        return self._page
+
+    @property
+    def term(self) -> List[int]:
+        """Terminator instruction address per trace block."""
+        if self._term is None:
+            self._decode()
+        return self._term
 
     def blocks_of(self, i: int) -> Tuple[int, int]:
         """First and last cache-block index touched by trace block ``i``."""
