@@ -109,6 +109,7 @@ def cmd_sweep(args) -> int:
     import time
 
     from repro.experiments import runner
+    from repro.experiments.errors import PointFailure
     from repro.experiments.sweep import grid, sweep
 
     if args.clear_cache:
@@ -127,9 +128,19 @@ def cmd_sweep(args) -> int:
                   seed=args.seed, warmup=args.warmup)
     before = runner.run_cache_stats()
     start = time.perf_counter()
-    results = sweep(points, jobs=args.jobs, use_cache=not args.no_cache,
-                    progress=print)
+    try:
+        report = sweep(
+            points, jobs=args.jobs, use_cache=not args.no_cache,
+            progress=print, max_retries=args.max_retries,
+            point_timeout=args.point_timeout, keep_going=args.keep_going,
+        )
+    except PointFailure as failure:
+        print(f"sweep aborted: {failure} "
+              "(use --keep-going to collect partial results)",
+              file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - start
+    results = report.results
     baselines = {r.point.workload: r.stats for r in results
                  if r.point.prefetcher is None}
     rows = []
@@ -152,9 +163,19 @@ def cmd_sweep(args) -> int:
     simulated = s.simulations - before.simulations
     disk = s.disk_hits - before.disk_hits
     memory = s.memory_hits - before.memory_hits
-    print(f"\n{len(results)} points in {elapsed:.1f}s with --jobs "
-          f"{args.jobs}: {simulated} simulated, {disk} disk hits, "
-          f"{memory} memory hits")
+    corrupt = s.cache_corrupt - before.cache_corrupt
+    summary = (f"\n{len(results)}/{len(points)} points in {elapsed:.1f}s "
+               f"with --jobs {args.jobs}: {simulated} simulated, "
+               f"{disk} disk hits, {memory} memory hits")
+    if corrupt:
+        summary += f", {corrupt} corrupt cache entries quarantined"
+    print(summary)
+    if report.failures:
+        print(f"\n{len(report.failures)} point(s) failed after retries:",
+              file=sys.stderr)
+        for failure in report.failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -350,6 +371,17 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--clear-cache", action="store_true",
                     help="clear the on-disk simulation cache first "
                          "(with no workloads: clear and exit)")
+    sw.add_argument("--max-retries", type=int, default=2,
+                    help="retries per point after a worker crash, "
+                         "timeout, or transient fault (default: 2)")
+    sw.add_argument("--point-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="kill and retry any point running longer than "
+                         "this (enforced with --jobs >= 2)")
+    sw.add_argument("--keep-going", action="store_true",
+                    help="on unrecoverable point failures, keep "
+                         "sweeping and report partial results "
+                         "(exit 1 if any point failed)")
     _add_scale(sw)
 
     probe = sub.add_parser(

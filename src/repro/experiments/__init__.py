@@ -21,8 +21,18 @@ from repro.experiments.runner import (
     run_cache_stats,
     run_prefetcher,
 )
+from repro.experiments.errors import (
+    CorruptArtifactError,
+    ExperimentError,
+    PointFailure,
+    PointTimeoutError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.experiments.faults import Fault, FaultPlan
 from repro.experiments.sweep import (
     SweepPoint,
+    SweepReport,
     SweepResult,
     grid,
     sweep,
@@ -39,8 +49,17 @@ __all__ = [
     "reset_run_cache_stats",
     "compare_all",
     "clear_run_cache",
+    "ExperimentError",
+    "TransientError",
+    "WorkerCrashError",
+    "PointTimeoutError",
+    "CorruptArtifactError",
+    "PointFailure",
+    "Fault",
+    "FaultPlan",
     "SweepPoint",
     "SweepResult",
+    "SweepReport",
     "grid",
     "sweep",
     "sweep_grid",

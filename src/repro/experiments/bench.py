@@ -42,7 +42,7 @@ import statistics
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 ARTIFACT_PREFIX = "BENCH_"
 ARTIFACT_SCHEMA = 1
@@ -348,14 +348,33 @@ def write_artifact(artifact: dict, out_dir: os.PathLike) -> Path:
     return path
 
 
-def load_artifacts(directory: os.PathLike) -> Dict[str, dict]:
-    """Load every ``BENCH_*.json`` in ``directory``, keyed by name."""
+def load_artifacts(
+    directory: os.PathLike,
+    on_error: Optional[Callable[[Path, Exception], None]] = None,
+) -> Dict[str, dict]:
+    """Load every ``BENCH_*.json`` in ``directory``, keyed by name.
+
+    A truncated or otherwise undecodable artifact is skipped (reported
+    through ``on_error`` when given) instead of aborting the whole
+    comparison — one torn file must not discard an entire benchmark
+    run's worth of good artifacts.
+    """
     out: Dict[str, dict] = {}
     for path in sorted(Path(directory).glob(f"{ARTIFACT_PREFIX}*.json")):
-        art = json.loads(path.read_text())
-        if art.get("schema") != ARTIFACT_SCHEMA:
+        try:
+            art = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            if on_error is not None:
+                on_error(path, exc)
             continue
-        out[art["name"]] = art
+        if not isinstance(art, dict) or art.get("schema") != ARTIFACT_SCHEMA:
+            continue
+        name = art.get("name")
+        if not isinstance(name, str):
+            if on_error is not None:
+                on_error(path, ValueError("artifact has no 'name'"))
+            continue
+        out[name] = art
     return out
 
 
@@ -408,16 +427,20 @@ def compare_dirs(base_dir: os.PathLike, new_dir: os.PathLike,
     """Compare two artifact directories.
 
     Returns ``(rows, problems)``: a display row per benchmark present in
-    the base set, and a list of human-readable regression/missing
-    messages (empty = pass).
+    the base set, and a list of human-readable regression/missing/
+    corrupt-artifact messages (empty = pass).
     """
-    base_set = load_artifacts(base_dir)
-    new_set = load_artifacts(new_dir)
+    problems: List[str] = []
+
+    def _note_bad(path: Path, exc: Exception) -> None:
+        problems.append(f"{path.name}: unreadable artifact ({exc})")
+
+    base_set = load_artifacts(base_dir, on_error=_note_bad)
+    new_set = load_artifacts(new_dir, on_error=_note_bad)
     if not base_set:
         raise ValueError(f"no {ARTIFACT_PREFIX}*.json artifacts "
                          f"in {base_dir}")
     rows: List[List[str]] = []
-    problems: List[str] = []
     for name, base in sorted(base_set.items()):
         new = new_set.get(name)
         if new is None:

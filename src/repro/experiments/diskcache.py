@@ -11,14 +11,26 @@ Layout (see docs/SWEEP_CACHE.md)::
 
     <root>/<digest[:2]>/<digest>.pkl
 
-Each file is a pickled payload dict::
+Each file is a pickled *envelope* wrapping the pickled payload bytes
+with their SHA-256::
+
+    {"sha256": "<hex digest of payload bytes>", "payload": b"..."}
+
+where the inner payload is the caller's dict::
 
     {"schema": SCHEMA_VERSION, "key": <full key string>,
      "stats": SimStats.state_dict(), "miss_map": dict | None}
 
-Robustness contract: a corrupted, truncated, stale-schema or
-key-colliding file is *ignored* (treated as a miss and overwritten on
-the next store), never an exception to the caller.
+Robustness contract (docs/RESILIENCE.md): writes are atomic
+(temp file + fsync + ``os.replace``), so a killed process can never
+leave a half-written entry under a live name; reads verify the
+checksum, and an unreadable, truncated, or bit-flipped file is
+**quarantined** — moved aside to ``<name>.pkl.corrupt`` and reported
+to the registered corruption listeners — then treated as a plain
+miss.  Corruption is never an exception to the caller.  Pre-envelope
+entries (written before the checksum was introduced) are still served:
+they unpickle to the payload dict directly and the caller's schema/key
+validation covers them.
 
 Environment knobs:
 
@@ -35,14 +47,31 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Callable, Iterator, List, Optional
+
+from repro.experiments.errors import CorruptArtifactError
 
 #: Bump whenever the payload layout or the meaning of cached counters
 #: changes; old entries are then ignored (and lazily overwritten).
 SCHEMA_VERSION = 1
 
+#: Suffix appended to quarantined entry files.
+QUARANTINE_SUFFIX = ".corrupt"
+
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_DISK_CACHE"
+
+#: Callables invoked with a :class:`CorruptArtifactError` each time any
+#: DiskCache instance quarantines a file (runner uses this to surface a
+#: ``cache_corrupt`` counter without a dependency cycle).
+_CORRUPTION_LISTENERS: List[Callable[[CorruptArtifactError], None]] = []
+
+
+def add_corruption_listener(
+        listener: Callable[[CorruptArtifactError], None]) -> None:
+    """Register ``listener`` for quarantine events (idempotent)."""
+    if listener not in _CORRUPTION_LISTENERS:
+        _CORRUPTION_LISTENERS.append(listener)
 
 
 def default_cache_dir() -> Path:
@@ -65,46 +94,106 @@ def key_digest(key: str) -> str:
 
 
 class DiskCache:
-    """A tiny content-addressed pickle store.
+    """A tiny content-addressed, checksummed pickle store.
 
     Values are opaque payload dicts; schema/key validation lives in the
     caller (:mod:`repro.experiments.runner`) so this class stays a dumb,
-    crash-tolerant byte store.
+    crash-tolerant byte store.  What it *does* own is byte integrity:
+    every entry carries a SHA-256 of its payload bytes, verified on
+    read, with corrupt files quarantined instead of served or raised.
     """
 
     def __init__(self, root: os.PathLike) -> None:
         self.root = Path(root)
+        #: Files this instance has quarantined since construction.
+        self.corrupt_count = 0
 
     def path_for(self, key: str) -> Path:
         digest = key_digest(key)
         return self.root / digest[:2] / f"{digest}.pkl"
 
+    # -- read ----------------------------------------------------------
     def get(self, key: str) -> Optional[dict]:
-        """Load the payload for ``key``, or None on miss/corruption."""
+        """Load the payload for ``key``; None on miss or (after
+        quarantining the file) on corruption."""
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
-                payload = pickle.load(fh)
+                envelope = pickle.load(fh)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, MemoryError, ValueError):
-            return None
+                ImportError, IndexError, MemoryError, ValueError) as exc:
+            return self._quarantine(path, f"undecodable entry: {exc!r}")
+        if not isinstance(envelope, dict):
+            return self._quarantine(path, "entry is not a dict")
+        if "sha256" in envelope and "payload" in envelope:
+            blob = envelope["payload"]
+            if not isinstance(blob, bytes) or \
+                    hashlib.sha256(blob).hexdigest() != envelope["sha256"]:
+                return self._quarantine(path, "checksum mismatch")
+            try:
+                payload = pickle.loads(blob)
+            except Exception as exc:
+                return self._quarantine(
+                    path, f"undecodable payload: {exc!r}")
+        else:
+            # Pre-checksum entry: the pickle *is* the payload.  The
+            # caller's schema/key validation decides whether to trust
+            # it, exactly as before the envelope existed.
+            payload = envelope
         if not isinstance(payload, dict):
-            return None
+            return self._quarantine(path, "payload is not a dict")
         return payload
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside and notify listeners; returns None so
+        callers can ``return self._quarantine(...)`` as a miss."""
+        target: Optional[Path] = path.with_name(
+            path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            target = None
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.corrupt_count += 1
+        error = CorruptArtifactError(path, reason, quarantined_to=target)
+        for listener in list(_CORRUPTION_LISTENERS):
+            try:
+                listener(error)
+            except Exception:
+                pass  # observability must never break the cache
+        return None
+
+    # -- write ---------------------------------------------------------
     def put(self, key: str, payload: dict) -> None:
         """Atomically persist ``payload`` under ``key``.
 
-        Write failures (read-only FS, disk full) are swallowed — the
-        cache is an accelerator, never a correctness dependency.
+        The payload is pickled, wrapped in a checksum envelope, written
+        to a temp file in the same directory, fsynced, then renamed
+        into place — a killed process can never leave a half-written
+        entry under a live name.  Write failures (read-only FS, disk
+        full) are swallowed: the cache is an accelerator, never a
+        correctness dependency.
         """
         path = self.path_for(key)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "payload": blob,
+        }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(envelope, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -115,13 +204,23 @@ class DiskCache:
         except OSError:
             pass
 
+    # -- maintenance ---------------------------------------------------
     def entries(self) -> Iterator[Path]:
-        """All entry files currently in the store."""
+        """All live entry files currently in the store (quarantined
+        ``*.corrupt`` sidecars excluded)."""
         if not self.root.is_dir():
             return
         for shard in sorted(self.root.iterdir()):
             if shard.is_dir():
                 yield from sorted(shard.glob("*.pkl"))
+
+    def quarantined(self) -> Iterator[Path]:
+        """All quarantined sidecar files in the store."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob(f"*{QUARANTINE_SUFFIX}"))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())
@@ -130,12 +229,18 @@ class DiskCache:
         return sum(p.stat().st_size for p in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (quarantined sidecars included); returns
+        the number of live entries removed."""
         removed = 0
         for path in list(self.entries()):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in list(self.quarantined()):
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed

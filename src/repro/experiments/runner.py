@@ -147,6 +147,10 @@ class RunCacheStats:
     #: re-running the warmup window.
     warmup_hits: int = 0
     warmup_writes: int = 0
+    #: On-disk entries (results or warmup checkpoints) that failed
+    #: checksum/decode validation and were quarantined (see
+    #: docs/RESILIENCE.md); each one degrades to a miss, never a crash.
+    cache_corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -154,6 +158,13 @@ class RunCacheStats:
 
 
 _STATS = RunCacheStats()
+
+
+def _count_corruption(_error: diskcache.CorruptArtifactError) -> None:
+    _STATS.cache_corrupt += 1
+
+
+diskcache.add_corruption_listener(_count_corruption)
 
 
 def run_cache_stats() -> RunCacheStats:
@@ -332,10 +343,12 @@ def run_prefetcher(
                 sim.resume(trace, state)
                 resumed = True
                 _STATS.warmup_hits += 1
-            except (ValueError, KeyError, TypeError, IndexError):
-                # Stale/mismatched checkpoint: a partial load may have
-                # corrupted the machine, so fall back to a cold warmup
-                # on a fresh simulator.
+            except Exception:
+                # Stale, mismatched, or corrupted checkpoint — whatever
+                # the load_state_dict path raised, a partial load may
+                # have corrupted the machine, so fall back to a cold
+                # warmup on a fresh simulator.  A checkpoint is an
+                # accelerator; it must never change (or abort) results.
                 sim = build_sim()
     if not resumed:
         sim.warmup(trace, warmup_fraction=warmup)

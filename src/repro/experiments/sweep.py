@@ -1,39 +1,80 @@
-"""Parallel sweep engine over (workload × prefetcher × config) points.
+"""Fault-tolerant parallel sweep engine over (workload × prefetcher ×
+config) points.
 
 ``runner.run_prefetcher`` evaluates one point; the full §6 grid is
 hundreds of points that are completely independent, so this module
-fans them out over a ``multiprocessing`` pool.  Workers share the
-on-disk result cache (:mod:`repro.experiments.diskcache`), so a sweep
-only pays for points nobody has simulated yet, and its results are
-visible to every later process.
+fans them out over worker processes.  Workers share the on-disk result
+cache (:mod:`repro.experiments.diskcache`), so a sweep only pays for
+points nobody has simulated yet, and its results are visible to every
+later process.
 
 Guarantees:
 
 * **Determinism** — results are identical to the serial path; a point
   is fully described by its :class:`SweepPoint` and the simulator is
-  deterministic, so worker scheduling cannot change any counter
-  (asserted by tests/test_determinism.py).
+  deterministic, so worker scheduling — and retries after injected or
+  real failures — cannot change any counter (asserted by
+  tests/test_determinism.py and tests/test_faults.py).
 * **Order** — results come back in input order regardless of which
   worker finishes first.
+* **Isolation** — every pending point runs in its own worker process,
+  supervised by the parent: a crashed worker
+  (:class:`~repro.experiments.errors.WorkerCrashError`) or one
+  exceeding ``point_timeout``
+  (:class:`~repro.experiments.errors.PointTimeoutError`) costs that
+  point one attempt, never the grid.  Transient failures are retried
+  up to ``max_retries`` times with exponential backoff and
+  deterministic jitter (:func:`repro.experiments.errors.backoff_delay`).
+* **Partial results** — :func:`sweep` returns a :class:`SweepReport`.
+  Under ``keep_going=True`` every completed point survives alongside a
+  :class:`~repro.experiments.errors.PointFailure` record per dead one;
+  under the default fail-fast policy the first terminal failure is
+  raised (after all attempts) and in-flight workers are reaped.
 * **Observability** — one progress line per completed point
   (``[ 3/12] beego/mana  sim  1.82s``) so multi-minute grids are
   watchable; pass ``progress=None`` to silence.
+
+Fault injection: a :class:`~repro.experiments.faults.FaultPlan`
+(explicit ``fault_plan=`` or the ``REPRO_FAULT_PLAN`` environment
+variable) deterministically injects worker crashes, hangs, transient
+errors, and cache corruption at chosen points — see
+docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.stats import SimStats
+from repro.experiments import faults as faults_mod
 from repro.experiments import runner
+from repro.experiments.errors import (
+    PointFailure,
+    PointTimeoutError,
+    TransientError,
+    WorkerCrashError,
+    backoff_delay,
+)
+from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import DEFAULT_WARMUP
 
 #: The paper's comparison set (Figures 9-11, Table 2).
 DEFAULT_PREFETCHERS = ("efetch", "mana", "eip", "hierarchical")
+
+#: Retries per point after the first attempt (crash/hang/transient
+#: failures only; deterministic simulation errors are never retried).
+DEFAULT_MAX_RETRIES = 2
+
+#: First-retry backoff in seconds (doubles per retry, jittered).
+DEFAULT_BACKOFF = 0.25
+
+#: Parent-side poll period while supervising workers.
+_POLL_SECONDS = 0.01
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,6 +121,36 @@ class SweepResult:
     miss_map: Optional[dict]
     seconds: float
     source: str  # "memory" | "disk" | "sim"
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """Everything a sweep produced: completed results plus a failure
+    record per point that exhausted its retries.
+
+    Iterates (and ``len()``s) over the *results*, so fault-free callers
+    can keep treating the return value as the old result list.
+    """
+
+    results: List[SweepResult]
+    failures: List[PointFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def raise_if_failed(self) -> "SweepReport":
+        """Raise the first :class:`PointFailure` when any point died;
+        returns self otherwise (chainable)."""
+        if self.failures:
+            raise self.failures[0]
+        return self
 
 
 ProgressFn = Callable[[str], None]
@@ -131,15 +202,292 @@ def _run_serial(point: SweepPoint,
     return stats, miss_map, source, elapsed
 
 
-def _worker(job: Tuple[int, SweepPoint, bool]):
-    """Pool entry point: evaluate one point in a worker process.
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _point_process(conn, index: int, attempt: int, point: SweepPoint,
+                   use_cache: bool, plan_json: Optional[str]) -> None:
+    """Entry point of a per-point worker process.
 
-    Returns picklable raw state; the parent reassembles ``SimStats``
-    and seeds its in-process cache so later same-process calls hit.
+    Sends exactly one message tuple back through ``conn``:
+    ``("ok", state_dict, miss_map, source, elapsed)``,
+    ``("transient", message)`` for injected flaky faults, or
+    ``("error", message)`` for a real (deterministic, non-retryable)
+    exception from the simulation.  Injected crashes exit hard without
+    sending; injected hangs sleep first, relying on the parent's
+    ``point_timeout`` supervision.
     """
-    index, point, use_cache = job
-    stats, miss_map, source, elapsed = _run_serial(point, use_cache)
-    return index, stats.state_dict(), miss_map, source, elapsed
+    plan = FaultPlan.from_json(plan_json) if plan_json else None
+    if plan:
+        fault = plan.exec_fault(index, point.label, attempt)
+        if fault is not None:
+            if fault.kind == faults_mod.CRASH:
+                conn.close()
+                os._exit(faults_mod.CRASH_EXIT_CODE)
+            elif fault.kind == faults_mod.HANG:
+                time.sleep(fault.seconds)
+            elif fault.kind == faults_mod.ERROR:
+                conn.send(("transient",
+                           f"injected transient fault at {point.label}"))
+                conn.close()
+                return
+    try:
+        stats, miss_map, source, elapsed = _run_serial(point, use_cache)
+    except Exception as exc:
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+    if plan and use_cache:
+        plan.corrupt_cache_entries(index, point.label, attempt, point.key())
+    conn.send(("ok", stats.state_dict(), miss_map, source, elapsed))
+    conn.close()
+
+
+@dataclasses.dataclass
+class _Live:
+    """A worker currently executing one attempt of one point."""
+
+    proc: multiprocessing.Process
+    conn: object
+    index: int
+    attempt: int
+    started: float
+
+
+def _spawn(ctx, point: SweepPoint, index: int, attempt: int,
+           use_cache: bool, plan_json: Optional[str]) -> _Live:
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_point_process,
+        args=(send_conn, index, attempt, point, use_cache, plan_json),
+        daemon=True,
+    )
+    proc.start()
+    send_conn.close()
+    return _Live(proc, recv_conn, index, attempt, time.monotonic())
+
+
+def _reap(live: _Live,
+          point_timeout: Optional[float]) -> Optional[Tuple]:
+    """Poll one worker; returns its outcome tuple or None if still
+    running.
+
+    Outcomes: the worker's own message, or parent-detected
+    ``("crash", exitcode)`` / ``("timeout", seconds)``.
+    """
+    # Liveness *before* the pipe check closes the exit race: once the
+    # process is observably dead, anything it sent is already buffered.
+    alive = live.proc.is_alive()
+    if live.conn.poll():
+        try:
+            message = live.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        live.proc.join()
+        live.conn.close()
+        if message is None:
+            return ("crash", live.proc.exitcode)
+        return message
+    if not alive:
+        live.proc.join()
+        live.conn.close()
+        return ("crash", live.proc.exitcode)
+    if point_timeout is not None and \
+            time.monotonic() - live.started > point_timeout:
+        live.proc.terminate()
+        live.proc.join(5.0)
+        if live.proc.is_alive():  # pragma: no cover - stuck in a syscall
+            live.proc.kill()
+            live.proc.join()
+        live.conn.close()
+        return ("timeout", point_timeout)
+    return None
+
+
+def _outcome_error(outcome: Tuple, label: str) -> TransientError:
+    """Map a non-ok worker outcome to its taxonomy error."""
+    kind = outcome[0]
+    if kind == "crash":
+        return WorkerCrashError(
+            f"worker for {label} died (exit code {outcome[1]})",
+            exitcode=outcome[1],
+        )
+    if kind == "timeout":
+        return PointTimeoutError(
+            f"{label} exceeded point timeout ({outcome[1]:.1f}s)",
+            timeout=outcome[1],
+        )
+    return TransientError(outcome[1])
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class _SweepState:
+    """Mutable bookkeeping shared by the serial and parallel paths."""
+
+    def __init__(self, points: List[SweepPoint],
+                 progress: Optional[ProgressFn], keep_going: bool):
+        self.points = points
+        self.total = len(points)
+        self.results: List[Optional[SweepResult]] = [None] * self.total
+        self.failures: Dict[int, PointFailure] = {}
+        self.progress = progress
+        self.keep_going = keep_going
+        self.done = 0
+
+    def _emit(self, label: str, tail: str) -> None:
+        self.done += 1
+        if self.progress is not None:
+            width = len(str(self.total))
+            self.progress(
+                f"[{self.done:>{width}}/{self.total}] {label:<28s} {tail}"
+            )
+
+    def complete(self, index: int, result: SweepResult) -> None:
+        self.results[index] = result
+        self._emit(result.point.label,
+                   f"{result.source:<6s} {result.seconds:6.2f}s")
+
+    def fail(self, index: int, error: BaseException, attempts: int) -> None:
+        """Record a terminal failure; raises under fail-fast."""
+        failure = PointFailure.from_error(
+            self.points[index].label, index, error, attempts)
+        self.failures[index] = failure
+        self._emit(failure.label,
+                   f"FAIL   ({failure.kind} after {attempts} attempts)")
+        if not self.keep_going:
+            raise failure
+
+    def report(self) -> SweepReport:
+        return SweepReport(
+            results=[r for r in self.results if r is not None],
+            failures=[self.failures[i] for i in sorted(self.failures)],
+        )
+
+
+def _sweep_serial(state: _SweepState, pending: Sequence[int],
+                  use_cache: bool, plan: Optional[FaultPlan],
+                  max_retries: int, point_timeout: Optional[float],
+                  backoff_base: float) -> None:
+    """In-process evaluation with the same retry/failure policy as the
+    parallel path.
+
+    No supervisor can terminate an in-process point, so ``hang`` faults
+    are mapped straight to :class:`PointTimeoutError`; everything else
+    behaves identically.
+    """
+    for index in pending:
+        point = state.points[index]
+        attempt = 1
+        while True:
+            try:
+                if plan:
+                    fault = plan.exec_fault(index, point.label, attempt)
+                    if fault is not None:
+                        if fault.kind == faults_mod.CRASH:
+                            raise WorkerCrashError(
+                                f"injected crash at {point.label}")
+                        if fault.kind == faults_mod.HANG:
+                            raise PointTimeoutError(
+                                f"injected hang at {point.label}",
+                                timeout=point_timeout)
+                        raise TransientError(
+                            f"injected transient fault at {point.label}")
+                stats, miss_map, source, elapsed = _run_serial(
+                    point, use_cache)
+                if plan and use_cache:
+                    plan.corrupt_cache_entries(
+                        index, point.label, attempt, point.key())
+                state.complete(index, SweepResult(
+                    point, stats, miss_map, elapsed, source))
+                break
+            except TransientError as exc:
+                if attempt > max_retries:
+                    state.fail(index, exc, attempt)
+                    break
+                time.sleep(backoff_delay(attempt, backoff_base,
+                                         point.key()))
+                attempt += 1
+            except Exception as exc:
+                state.fail(index, exc, attempt)
+                break
+
+
+def _sweep_parallel(state: _SweepState, pending: Sequence[int],
+                    use_cache: bool, plan: Optional[FaultPlan],
+                    jobs: int, max_retries: int,
+                    point_timeout: Optional[float],
+                    backoff_base: float) -> None:
+    """Supervise per-point worker processes.
+
+    Each attempt of each point gets a fresh process, so a crash or a
+    terminated hang can never poison a shared pool; the parent is the
+    only scheduler, so retries (delayed by deterministic backoff) and
+    fresh points interleave freely up to ``jobs`` live workers.
+    """
+    ctx = multiprocessing.get_context()
+    plan_json = plan.to_json() if plan else None
+    # (ready_at, index, attempt): ready_at is a monotonic timestamp;
+    # retries re-enter the queue with their backoff deadline.
+    waiting: List[Tuple[float, int, int]] = [
+        (0.0, index, 1) for index in pending
+    ]
+    live: List[_Live] = []
+    try:
+        while waiting or live:
+            now = time.monotonic()
+            waiting.sort()
+            while waiting and len(live) < jobs and waiting[0][0] <= now:
+                _, index, attempt = waiting.pop(0)
+                live.append(_spawn(ctx, state.points[index], index,
+                                   attempt, use_cache, plan_json))
+            progressed = False
+            for worker in list(live):
+                outcome = _reap(worker, point_timeout)
+                if outcome is None:
+                    continue
+                live.remove(worker)
+                progressed = True
+                index, attempt = worker.index, worker.attempt
+                point = state.points[index]
+                if outcome[0] == "ok":
+                    _, stat_state, miss_map, source, elapsed = outcome
+                    stats = SimStats.from_state(stat_state)
+                    runner.record_source(source)
+                    if use_cache:
+                        # Workers persisted to disk; mirror into this
+                        # process's memory cache too.
+                        runner.seed_cache(point.key(), stats, miss_map)
+                    state.complete(index, SweepResult(
+                        point, stats, miss_map, elapsed, source))
+                elif outcome[0] == "error":
+                    state.fail(index, RuntimeError(outcome[1]), attempt)
+                else:
+                    error = _outcome_error(outcome, point.label)
+                    if attempt > max_retries:
+                        state.fail(index, error, attempt)
+                    else:
+                        delay = backoff_delay(attempt, backoff_base,
+                                              point.key())
+                        waiting.append((time.monotonic() + delay,
+                                        index, attempt + 1))
+            if not progressed:
+                time.sleep(_POLL_SECONDS)
+    finally:
+        # Fail-fast (or an unexpected parent error): reap in-flight
+        # workers so no orphan keeps simulating a doomed grid.
+        for worker in live:
+            worker.proc.terminate()
+        for worker in live:
+            worker.proc.join(5.0)
+            if worker.proc.is_alive():  # pragma: no cover
+                worker.proc.kill()
+                worker.proc.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
 
 
 def sweep(
@@ -147,71 +495,68 @@ def sweep(
     jobs: int = 1,
     use_cache: bool = True,
     progress: Optional[ProgressFn] = _default_progress,
-) -> List[SweepResult]:
-    """Evaluate every point, fanning out over ``jobs`` processes.
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    point_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    backoff_base: float = DEFAULT_BACKOFF,
+    fault_plan: Optional[FaultPlan] = None,
+) -> SweepReport:
+    """Evaluate every point, fanning out over up to ``jobs`` worker
+    processes, and return a :class:`SweepReport`.
 
     Cached points (memory or disk) are resolved in the parent first;
-    only genuinely missing simulations are shipped to the pool, so a
-    warm sweep never forks at all.
+    only genuinely missing simulations get worker processes, so a warm
+    sweep never forks at all.
+
+    Resilience policy:
+
+    * transient failures (worker crash, ``point_timeout`` exceeded,
+      injected flaky faults) are retried up to ``max_retries`` times
+      with exponential backoff from ``backoff_base`` seconds and
+      deterministic per-point jitter;
+    * deterministic simulation exceptions are recorded (or raised)
+      immediately — retrying a pure function is wasted work;
+    * ``keep_going=False`` (default) raises the first terminal
+      :class:`PointFailure`; ``keep_going=True`` records it and keeps
+      sweeping, returning completed results alongside the failures;
+    * ``point_timeout`` is enforced by worker termination and therefore
+      needs ``jobs >= 2``; serial sweeps map injected hangs straight to
+      timeout failures.
+
+    ``fault_plan`` (or ``REPRO_FAULT_PLAN``) deterministically injects
+    failures for testing — see :mod:`repro.experiments.faults`.
     """
     points = list(points)
-    total = len(points)
-    results: List[Optional[SweepResult]] = [None] * total
-    done = 0
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    state = _SweepState(points, progress, keep_going)
 
-    def emit(result: SweepResult, index: int) -> None:
-        nonlocal done
-        done += 1
-        if progress is not None:
-            progress(
-                f"[{done:>{len(str(total))}}/{total}] "
-                f"{result.point.label:<28s} {result.source:<6s} "
-                f"{result.seconds:6.2f}s"
-            )
-
-    if jobs <= 1:
-        for i, point in enumerate(points):
-            stats, miss_map, source, elapsed = _run_serial(point, use_cache)
-            results[i] = SweepResult(point, stats, miss_map, elapsed, source)
-            emit(results[i], i)
-        return [r for r in results if r is not None]
-
-    pending: List[Tuple[int, SweepPoint]] = []
+    pending: List[int] = []
     if use_cache:
         # Resolve warm points in the parent without forking.
-        for i, point in enumerate(points):
-            key = point.key()
+        for index, point in enumerate(points):
             start = time.perf_counter()
-            hit = runner.peek_cached(key)
+            hit = runner.peek_cached(point.key())
             if hit is None:
-                pending.append((i, point))
+                pending.append(index)
                 continue
             stats, miss_map, source = hit
             runner.record_source(source)
-            results[i] = SweepResult(point, stats, miss_map,
-                                     time.perf_counter() - start, source)
-            emit(results[i], i)
+            state.complete(index, SweepResult(
+                point, stats, miss_map,
+                time.perf_counter() - start, source))
     else:
-        pending = list(enumerate(points))
+        pending = list(range(len(points)))
 
     if pending:
-        n_workers = min(jobs, len(pending))
-        with multiprocessing.Pool(n_workers) as pool:
-            jobs_iter = ((i, p, use_cache) for i, p in pending)
-            for index, state, miss_map, source, elapsed in (
-                    pool.imap_unordered(_worker, jobs_iter)):
-                point = points[index]
-                stats = SimStats.from_state(state)
-                runner.record_source(source)
-                if use_cache:
-                    # Workers persisted to disk; mirror into this
-                    # process's memory cache too.
-                    runner.seed_cache(point.key(), stats, miss_map)
-                results[index] = SweepResult(point, stats, miss_map,
-                                             elapsed, source)
-                emit(results[index], index)
-
-    return [r for r in results if r is not None]
+        if jobs <= 1:
+            _sweep_serial(state, pending, use_cache, fault_plan,
+                          max_retries, point_timeout, backoff_base)
+        else:
+            _sweep_parallel(state, pending, use_cache, fault_plan,
+                            min(jobs, len(pending)), max_retries,
+                            point_timeout, backoff_base)
+    return state.report()
 
 
 def sweep_grid(
@@ -221,15 +566,31 @@ def sweep_grid(
     use_cache: bool = True,
     progress: Optional[ProgressFn] = _default_progress,
     include_baseline: bool = True,
-    **common,
+    **kwargs,
 ) -> Dict[str, Dict[str, SweepResult]]:
     """Convenience wrapper: sweep a workload × prefetcher grid and
-    return ``{workload: {prefetcher_or_'fdip': SweepResult}}``."""
+    return ``{workload: {prefetcher_or_'fdip': SweepResult}}``.
+
+    Point fields (scale, seed, warmup, overrides...) and resilience
+    knobs (max_retries, point_timeout, keep_going...) both pass through
+    ``kwargs``; failed points are simply absent from the mapping when
+    ``keep_going=True``.
+    """
+    point_fields = {f.name for f in dataclasses.fields(SweepPoint)}
+    common = {k: v for k, v in kwargs.items() if k in point_fields}
+    policy = {k: v for k, v in kwargs.items() if k not in point_fields}
     points = grid(workloads, prefetchers,
                   include_baseline=include_baseline, **common)
     out: Dict[str, Dict[str, SweepResult]] = {}
     for result in sweep(points, jobs=jobs, use_cache=use_cache,
-                        progress=progress):
+                        progress=progress, **policy):
         name = result.point.prefetcher or "fdip"
         out.setdefault(result.point.workload, {})[name] = result
     return out
+
+
+__all__ = [
+    "DEFAULT_PREFETCHERS", "DEFAULT_MAX_RETRIES", "DEFAULT_BACKOFF",
+    "SweepPoint", "SweepResult", "SweepReport", "PointFailure",
+    "grid", "sweep", "sweep_grid",
+]

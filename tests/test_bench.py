@@ -147,6 +147,22 @@ def test_compare_dirs_reports_missing(tmp_path):
     assert any("hierarchy" in p and "missing" in p for p in problems)
 
 
+def test_compare_dirs_tolerates_unreadable_artifacts(tmp_path):
+    base_dir = tmp_path / "base"
+    new_dir = tmp_path / "new"
+    bench.write_artifact(_artifact("hot_loop", 1.0), base_dir)
+    bench.write_artifact(_artifact("hot_loop", 1.0), new_dir)
+    good = bench.write_artifact(_artifact("hierarchy", 1.0), base_dir)
+    bench.write_artifact(_artifact("hierarchy", 1.0), new_dir)
+    # Truncate one artifact mid-JSON, as a crashed bench run would.
+    good.write_text(good.read_text()[: len(good.read_text()) // 2])
+    rows, problems = bench.compare_dirs(base_dir, new_dir, 0.15)
+    # The torn file is reported, not raised, and the healthy pair is
+    # still compared (the truncated side then also shows as missing).
+    assert any("unreadable artifact" in p for p in problems)
+    assert any(r[0] == "hot_loop" for r in rows)
+
+
 def test_compare_cli_exit_codes(tmp_path):
     base_dir = tmp_path / "base"
     good_dir = tmp_path / "good"

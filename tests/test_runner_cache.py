@@ -2,11 +2,12 @@
 
 Covers the cache-key schema (seed/warmup/overrides/pf_kwargs must all
 be distinguished), exact SimStats round-trips through the on-disk
-store, tolerance to corrupted/stale entries, and the headline
-guarantee: a fresh process re-simulates nothing that is already on
-disk.
+store, checksum/quarantine handling of corrupted or stale entries, and
+the headline guarantee: a fresh process re-simulates nothing that is
+already on disk.
 """
 
+import hashlib
 import os
 import pickle
 import subprocess
@@ -26,6 +27,20 @@ from repro.experiments.runner import (
 )
 
 WORKLOAD = "mysql_sibench"
+
+
+def _read_payload(path):
+    """Unwrap an entry file's checksum envelope to its payload dict."""
+    envelope = pickle.loads(path.read_bytes())
+    return pickle.loads(envelope["payload"])
+
+
+def _write_payload(path, payload):
+    """Re-wrap ``payload`` in a valid checksum envelope at ``path``."""
+    blob = pickle.dumps(payload)
+    path.write_bytes(pickle.dumps({
+        "sha256": hashlib.sha256(blob).hexdigest(), "payload": blob,
+    }))
 
 
 @pytest.fixture()
@@ -148,25 +163,62 @@ class TestDiskCacheLayer:
         assert stats.simulations == 0 and stats.disk_hits == 1
         assert a is not b and a == b
 
-    def test_corrupted_entry_resimulated(self, cache_dir):
+    def test_corrupted_entry_resimulated_and_quarantined(self, cache_dir):
         run_prefetcher(WORKLOAD, "eip", scale="tiny")
         (path,) = diskcache.get_cache().entries()
         path.write_bytes(b"\x00garbage\xff")
         clear_run_cache()
         reset_run_cache_stats()
         run_prefetcher(WORKLOAD, "eip", scale="tiny")
-        assert run_cache_stats().simulations == 1  # ignored, not crashed
+        s = run_cache_stats()
+        assert s.simulations == 1  # ignored, not crashed
+        assert s.cache_corrupt == 1
+        quarantined = list(diskcache.get_cache().quarantined())
+        assert [p.name for p in quarantined] == [path.name + ".corrupt"]
+        # The fresh simulation rewrote a good entry under the live name.
+        assert len(diskcache.get_cache()) == 1
+
+    def test_bitflipped_entry_fails_checksum(self, cache_dir):
+        from repro.experiments.faults import BITFLIP, corrupt_file
+
+        run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        (path,) = diskcache.get_cache().entries()
+        # Flip one byte deep in the payload: the pickle may still load,
+        # only the checksum can catch it.
+        assert corrupt_file(path, BITFLIP, offset=path.stat().st_size // 2)
+        clear_run_cache()
+        reset_run_cache_stats()
+        run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        s = run_cache_stats()
+        assert s.simulations == 1
+        assert s.cache_corrupt == 1
+        assert list(diskcache.get_cache().quarantined())
 
     def test_stale_schema_entry_resimulated(self, cache_dir):
         run_prefetcher(WORKLOAD, "eip", scale="tiny")
         (path,) = diskcache.get_cache().entries()
-        payload = pickle.loads(path.read_bytes())
+        payload = _read_payload(path)
         payload["schema"] = diskcache.SCHEMA_VERSION + 1
-        path.write_bytes(pickle.dumps(payload))
+        _write_payload(path, payload)
         clear_run_cache()
         reset_run_cache_stats()
         run_prefetcher(WORKLOAD, "eip", scale="tiny")
-        assert run_cache_stats().simulations == 1
+        s = run_cache_stats()
+        assert s.simulations == 1
+        assert s.cache_corrupt == 0  # stale is not corrupt
+
+    def test_legacy_unwrapped_entry_still_served(self, cache_dir):
+        # Entries written before the checksum envelope existed are a
+        # bare pickled payload; they must keep hitting.
+        run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        (path,) = diskcache.get_cache().entries()
+        path.write_bytes(pickle.dumps(_read_payload(path)))
+        clear_run_cache()
+        reset_run_cache_stats()
+        run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        s = run_cache_stats()
+        assert s.disk_hits == 1 and s.simulations == 0
+        assert s.cache_corrupt == 0
 
     def test_wrong_key_payload_ignored(self, cache_dir):
         # A digest collision (or a hand-moved file) must not serve the
@@ -260,10 +312,10 @@ class TestWarmupCheckpoint:
     def test_corrupted_checkpoint_falls_back_cold(self, cache_dir):
         cold, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
         (path,) = diskcache.get_warmup_cache().entries()
-        payload = pickle.loads(path.read_bytes())
+        payload = _read_payload(path)
         # Mangle the machine state so resume() raises mid-load.
         payload["state"]["components"] = {"not": "the machine"}
-        path.write_bytes(pickle.dumps(payload))
+        _write_payload(path, payload)
         clear_run_cache()
         diskcache.get_cache().clear()
         reset_run_cache_stats()
@@ -271,6 +323,46 @@ class TestWarmupCheckpoint:
         s = run_cache_stats()
         assert s.warmup_hits == 0 and s.simulations == 1
         assert warm == cold  # fell back to a correct cold run
+
+    def test_truncated_checkpoint_falls_back_cold(self, cache_dir):
+        # A half-written (killed process) checkpoint file: the disk
+        # layer quarantines it and the run degrades to a cold warmup
+        # with bit-identical stats.
+        cold, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        (path,) = diskcache.get_warmup_cache().entries()
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        clear_run_cache()
+        diskcache.get_cache().clear()
+        reset_run_cache_stats()
+        warm, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        s = run_cache_stats()
+        assert s.warmup_hits == 0 and s.simulations == 1
+        assert s.cache_corrupt == 1
+        assert warm == cold
+        assert list(diskcache.get_warmup_cache().quarantined())
+        # The cold run re-persisted a fresh, valid checkpoint.
+        assert s.warmup_writes == 1
+
+    def test_arbitrary_resume_exception_falls_back_cold(
+            self, cache_dir, monkeypatch):
+        # The guard must cover *any* exception type out of resume(),
+        # not just the known stale-snapshot signatures.
+        from repro.cpu.simulator import FrontEndSimulator
+
+        cold, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        clear_run_cache()
+        diskcache.get_cache().clear()
+        reset_run_cache_stats()
+
+        def explode(self, trace, state):
+            raise ZeroDivisionError("boom mid-load")
+
+        monkeypatch.setattr(FrontEndSimulator, "resume", explode)
+        warm, _ = run_prefetcher(WORKLOAD, "eip", scale="tiny")
+        s = run_cache_stats()
+        assert s.warmup_hits == 0 and s.simulations == 1
+        assert warm == cold
 
     def test_config_change_misses_checkpoint(self, cache_dir):
         run_prefetcher(WORKLOAD, "eip", scale="tiny")
