@@ -13,6 +13,7 @@ Subcommands::
     repro characterize WORKLOAD      structural workload profile
     repro trace WORKLOAD -o F.npz    generate + save a trace
     repro replay F.npz               simulate a saved trace
+    repro lint [PATH...]             project-specific static analysis
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -317,6 +318,12 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import cmd_lint as _cmd_lint
+
+    return _cmd_lint(args)
+
+
 def cmd_replay(args) -> int:
     from repro.workloads.serialization import load_trace
 
@@ -441,6 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--prefetcher", default="hierarchical",
                         choices=PREFETCHER_NAMES)
     replay.add_argument("--warmup", type=float, default=DEFAULT_WARMUP)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based project lints (snapshot coverage, determinism, "
+             "hot-loop hygiene, pickle safety); see docs/LINTING.md",
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+    _add_lint_arguments(lint)
     return parser
 
 
@@ -455,6 +470,7 @@ _COMMANDS = {
     "characterize": cmd_characterize,
     "trace": cmd_trace,
     "replay": cmd_replay,
+    "lint": cmd_lint,
 }
 
 

@@ -163,6 +163,7 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
     # Simulator hooks
     # ------------------------------------------------------------------
     def on_commit(self, i: int, now: float) -> None:
+        # lint: hot-begin
         nin = self._nin_a[i]
         self._now = now
         self._commit_i = i
@@ -180,10 +181,11 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
         record = self.record
         if record.active:
             record.observe_instructions(nin)
-        if self._track and self._current_footprint is not None:
-            self._current_footprint.add(b0)
+        fp = self._current_footprint
+        if self._track and fp is not None:
+            fp.add(b0)
             if b1 != b0:
-                self._current_footprint.add(b1)
+                fp.add(b1)
         # Replay path: release newly eligible segments, drain the FIFO.
         replay = self.replay
         if replay.active:
@@ -195,6 +197,7 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
         # Trigger path: tagged call/return commits end/start Bundles.
         if self._tag_a[i] and self._kind_a[i] in _TRIGGER_KINDS:
             self._on_tagged(self._tgt_a[i], now)
+        # lint: hot-end
 
     # ------------------------------------------------------------------
     # Bundle lifecycle

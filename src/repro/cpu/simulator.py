@@ -166,7 +166,9 @@ class FrontEndSimulator(SimComponent):
             )
         if len(trace) == 0:
             raise ValueError("empty trace")
-        self._ran = True
+        # Not machine state: resume()/_begin_run re-arm it before any
+        # snapshot is loaded, so checkpoints deliberately exclude it.
+        self._ran = True  # lint: ephemeral
         self.trace = trace
         self.frontend.bind(trace, self.hierarchy)
         if self.prefetcher is not None:
@@ -220,6 +222,8 @@ class FrontEndSimulator(SimComponent):
         slack = self.config.core.fetch_slack
         mispredict_penalty = self.config.frontend.mispredict_penalty
         btb_miss_penalty = self.config.frontend.btb_miss_penalty
+        pen_mispredict = PEN_MISPREDICT
+        pen_btb_miss = PEN_BTB_MISS
         demand_fetch = hierarchy.demand_fetch
         advance = frontend.advance
         translate = itlb.translate
@@ -237,6 +241,7 @@ class FrontEndSimulator(SimComponent):
         stall_itlb = 0.0
         stall_fetch = 0.0
         stall_mispredict = 0.0
+        # lint: hot-begin
         for i in range(start, end):
             advance(i, now)
             nin = nin_arr[i]
@@ -274,25 +279,29 @@ class FrontEndSimulator(SimComponent):
             if penalties:
                 pen = penalties_pop(i, 0)
                 if pen:
-                    if pen == PEN_MISPREDICT:
+                    if pen == pen_mispredict:
                         now += mispredict_penalty
                         stall_mispredict += mispredict_penalty
                         if on_mispredict is not None:
                             on_mispredict(i)
-                    elif pen == PEN_BTB_MISS:
+                    elif pen == pen_btb_miss:
                         now += btb_miss_penalty
                         stall_mispredict += btb_miss_penalty
             instructions += nin
             if on_commit is not None:
                 self.now = now
                 on_commit(i, now)
+        # lint: hot-end
         stats.instructions += instructions
         stats.blocks += end - start
         stats.stall_itlb += stall_itlb
         stats.stall_fetch += stall_fetch
         stats.stall_mispredict += stall_mispredict
         self.now = now
-        self.commit_index = end - 1 if end > start else self.commit_index
+        # Derived from next_index; load_state_dict recomputes it.
+        self.commit_index = (  # lint: ephemeral
+            end - 1 if end > start else self.commit_index
+        )
         self._last_block = last_block
         self._last_page = last_page
 

@@ -78,13 +78,14 @@ class FDIPFrontEnd(SimComponent):
         self.penalties: Dict[int, int] = {}
         self._ptr = 0          # next trace index the runahead will visit
         self._blocked_at = -1  # runahead waits until commit reaches this
-        # Bound trace arrays (incl. the precomputed decode tables).
-        self._pc = self._nin = self._kind = self._taken = self._tgt = None
-        self._b0 = self._b1 = self._term = None
-        self._n = 0
-        # Bind-time constants hoisted out of the per-commit advance().
-        self._ftq = params.ftq_entries
-        self._issue = False
+        # Bound trace arrays (incl. the precomputed decode tables) and
+        # bind-time constants: rebuilt wholesale by bind(), so resume
+        # correctness never depends on snapshotting them.
+        self._pc = self._nin = self._kind = self._taken = self._tgt = None  # lint: ephemeral
+        self._b0 = self._b1 = self._term = None  # lint: ephemeral
+        self._n = 0  # lint: ephemeral
+        self._ftq = params.ftq_entries  # lint: ephemeral
+        self._issue = False  # lint: ephemeral
 
     def bind(self, trace, hierarchy) -> None:
         """Attach the front end to a trace and the memory hierarchy."""
@@ -130,21 +131,25 @@ class FDIPFrontEnd(SimComponent):
         hier = self.hierarchy
         prefetch = hier.prefetch if issue else None
         evaluate = self._evaluate
+        origin_fdip = ORIGIN_FDIP
+        pen_none = PEN_NONE
+        # lint: hot-begin
         while ptr <= limit:
             i = ptr
             if issue and i > commit_i:
                 b0 = b0_arr[i]
                 b1 = b1_arr[i]
-                prefetch(b0, now, ORIGIN_FDIP, issue_index=commit_i)
+                prefetch(b0, now, origin_fdip, issue_index=commit_i)
                 if b1 != b0:
-                    prefetch(b1, now, ORIGIN_FDIP, issue_index=commit_i)
+                    prefetch(b1, now, origin_fdip, issue_index=commit_i)
             ptr = i + 1
             # Non-branch blocks (the common case) have no terminator to
             # predict and can never stall the runahead.
-            if kind_arr[i] and (outcome := evaluate(i)) != PEN_NONE:
+            if kind_arr[i] and (outcome := evaluate(i)) != pen_none:
                 self.penalties[i] = outcome
                 self._blocked_at = i
                 break
+        # lint: hot-end
         self._ptr = ptr
 
     # ------------------------------------------------------------------

@@ -85,9 +85,12 @@ class TagePredictor(SimComponent):
                 meta += [hist_len % width, width, (1 << width) - 1]
             self._fold_meta.append(tuple(meta))
         self.ghr = 0
-        self._f_idx: List[int] = []
-        self._f_tag: List[int] = []
-        self._f_tag2: List[int] = []
+        # Folded-history registers are derived from the GHR; reset() and
+        # load_state_dict() recompute them via _rebuild_folds(), so
+        # state_dict() deliberately omits them.
+        self._f_idx: List[int] = []  # lint: ephemeral
+        self._f_tag: List[int] = []  # lint: ephemeral
+        self._f_tag2: List[int] = []  # lint: ephemeral
         self._rebuild_folds()
         self._rng = _Xorshift()
         self.predictions = 0

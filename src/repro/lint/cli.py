@@ -1,0 +1,72 @@
+"""``repro lint`` command-line front end.
+
+Exit status: 0 when no finding reaches the ``--fail-on`` severity
+(default: ``warning``, i.e. any finding fails), 1 otherwise, 2 on a
+usage error such as an unknown rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.engine import run_lint
+from repro.lint.findings import (
+    ERROR,
+    WARNING,
+    format_json,
+    format_text,
+    severity_rank,
+)
+from repro.lint.registry import rule_names
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint (default: the "
+                             "paths from [tool.repro.lint])")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="NAME", choices=rule_names(),
+                        help="run only this rule (repeatable); "
+                             f"available: {', '.join(rule_names())}")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json"),
+                        help="report format (default: text)")
+    parser.add_argument("--fail-on", default=WARNING,
+                        choices=(WARNING, ERROR),
+                        help="lowest severity that fails the run "
+                             "(default: warning — any finding fails)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
+    parser.add_argument("--root", default=None,
+                        help="project root (default: nearest ancestor "
+                             "with a pyproject.toml)")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        report = run_lint(
+            paths=args.paths or None,
+            root=Path(args.root) if args.root else None,
+            rules=args.rules,
+            use_cache=not args.no_cache,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(report.findings, report.files_scanned,
+                    report.cache_hits))
+    threshold = severity_rank(args.fail_on)
+    failed = any(severity_rank(f.severity) >= threshold
+                 for f in report.findings)
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (used by tests; ``repro lint`` wraps it)."""
+    parser = argparse.ArgumentParser(prog="repro lint")
+    add_arguments(parser)
+    return cmd_lint(parser.parse_args(argv))

@@ -1,0 +1,131 @@
+"""Lint configuration: defaults plus the ``[tool.repro.lint]`` table.
+
+The defaults encode this repository's layout; an out-of-tree checkout
+(or a test fixture tree) overrides them through its own
+``pyproject.toml``.  Parsing uses :mod:`tomllib` when available
+(Python 3.11+); on older interpreters the defaults apply unchanged,
+which is exactly what the CI lint job (pinned to 3.11) relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Tuple
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11; run with the built-in defaults.
+    tomllib = None
+
+#: Directories whose code sits on the simulation path and must be
+#: deterministic (relative to the project root, POSIX separators).
+DEFAULT_DETERMINISM_PATHS = (
+    "src/repro/cpu",
+    "src/repro/frontend",
+    "src/repro/prefetchers",
+    "src/repro/workloads",
+)
+
+#: Paths where environment reads are configuration, not nondeterminism.
+DEFAULT_ENV_OK_PATHS = (
+    "src/repro/cpu/config.py",
+    "src/repro/experiments",
+)
+
+#: Attributes that are machine wiring, never serialized state (see
+#: docs/ARCHITECTURE.md §1 "Wiring is not state").
+DEFAULT_WIRING_ATTRS = (
+    "sim", "trace", "hierarchy", "stats", "params", "config",
+)
+
+#: Callables whose arguments cross a pickling process boundary.
+DEFAULT_BOUNDARY_CALLABLES = (
+    "Process", "apply_async", "submit", "map_async", "starmap_async",
+    "sweep", "sweep_grid",
+)
+
+#: Files required to contain at least one hot-begin/hot-end fence —
+#: deleting a fence (and with it the hygiene checks) is itself an error.
+DEFAULT_FENCED_PATHS = (
+    "src/repro/cpu/simulator.py",
+    "src/repro/frontend/fdip.py",
+    "src/repro/core/prefetcher.py",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    paths: Tuple[str, ...] = ("src/repro",)
+    determinism_paths: Tuple[str, ...] = DEFAULT_DETERMINISM_PATHS
+    env_ok_paths: Tuple[str, ...] = DEFAULT_ENV_OK_PATHS
+    wiring_attrs: Tuple[str, ...] = DEFAULT_WIRING_ATTRS
+    boundary_callables: Tuple[str, ...] = DEFAULT_BOUNDARY_CALLABLES
+    fenced_paths: Tuple[str, ...] = DEFAULT_FENCED_PATHS
+    cache_file: str = ".repro-lint-cache.json"
+    #: Waiver kinds honored in source comments; removing one from the
+    #: config turns the corresponding waivers off repo-wide.
+    waivers: Tuple[str, ...] = ("ephemeral", "allow")
+
+    def fingerprint(self) -> str:
+        """Hash of everything that invalidates cached file results."""
+        payload = json.dumps(
+            {k: list(v) if isinstance(v, tuple) else v
+             for k, v in sorted(self.__dict__.items())},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+_TABLE_KEYS = {
+    "paths": "paths",
+    "determinism-paths": "determinism_paths",
+    "env-ok-paths": "env_ok_paths",
+    "wiring-attrs": "wiring_attrs",
+    "boundary-callables": "boundary_callables",
+    "fenced-paths": "fenced_paths",
+    "cache-file": "cache_file",
+    "waivers": "waivers",
+}
+
+
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor of ``start`` holding a ``pyproject.toml``."""
+    start = start.resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start
+
+
+def load_config(root: Path) -> LintConfig:
+    """Defaults overlaid with the root's ``[tool.repro.lint]`` table."""
+    config = LintConfig()
+    pyproject = root / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return config
+    try:
+        with open(pyproject, "rb") as fh:
+            data = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError):
+        return config
+    table = data.get("tool", {}).get("repro", {}).get("lint", {})
+    overrides = {}
+    for key, value in table.items():
+        attr = _TABLE_KEYS.get(key)
+        if attr is None:
+            raise ValueError(
+                f"unknown [tool.repro.lint] key {key!r}; expected one of "
+                f"{sorted(_TABLE_KEYS)}"
+            )
+        if attr == "cache_file":
+            overrides[attr] = str(value)
+        else:
+            overrides[attr] = tuple(str(v) for v in value)
+    return replace(config, **overrides) if overrides else config

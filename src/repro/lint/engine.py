@@ -1,0 +1,183 @@
+"""The lint engine: file discovery, per-file cache, rule dispatch.
+
+Each file is parsed into one AST and every enabled rule analyzes that
+tree, producing a JSON-serializable per-file payload.  Payloads are
+cached in ``.repro-lint-cache.json`` keyed by a SHA-256 of the file's
+content, the configuration fingerprint, the engine version, and the
+enabled rule set — an unchanged file is never re-parsed.  Findings are
+materialized from the payloads at report time (``snapshot-coverage``
+resolves the cross-file class hierarchy there), then ``# lint:
+allow[rule]`` waivers are applied.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.config import LintConfig, find_project_root, load_config
+from repro.lint.findings import ERROR, Finding, severity_rank
+from repro.lint.registry import select_rules
+from repro.lint.rules.base import FileContext, scan_directives
+
+#: Bump to invalidate every cached file result after engine changes.
+ENGINE_VERSION = "1"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".lint-cache", "node_modules"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    cache_hits: int = 0
+
+    def failed(self, fail_on: str = ERROR) -> bool:
+        threshold = severity_rank(fail_on)
+        return any(severity_rank(f.severity) >= threshold
+                   for f in self.findings)
+
+
+def iter_py_files(paths: Sequence[Path]) -> List[Path]:
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path.resolve())
+        elif path.is_dir():
+            for p in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS or part.startswith(".")
+                           for part in p.relative_to(path).parts):
+                    out.add(p.resolve())
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+    return sorted(out)
+
+
+def _rel_posix(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _load_cache(path: Path) -> Dict[str, dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("engine") == ENGINE_VERSION:
+            return data.get("files", {})
+    except (OSError, ValueError):
+        pass
+    return {}
+
+
+def _save_cache(path: Path, files: Dict[str, dict]) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"engine": ENGINE_VERSION, "files": files}, fh)
+    except OSError:
+        pass  # a read-only tree just loses caching, never correctness
+
+
+def run_lint(
+    paths: Optional[Sequence] = None,
+    root: Optional[Path] = None,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+) -> LintReport:
+    """Lint ``paths`` (default: the configured ones) and report."""
+    if root is None:
+        anchor = Path(paths[0]) if paths else Path.cwd()
+        root = find_project_root(anchor)
+    root = Path(root).resolve()
+    if config is None:
+        config = load_config(root)
+    active = select_rules(rules)
+    lint_paths = [Path(p) for p in paths] if paths \
+        else [root / p for p in config.paths]
+    files = iter_py_files(lint_paths)
+
+    fingerprint = "|".join((config.fingerprint(), ENGINE_VERSION,
+                            ",".join(r.name for r in active)))
+    cache_path = root / config.cache_file
+    cache = _load_cache(cache_path) if use_cache else {}
+    new_cache: Dict[str, dict] = {}
+
+    summaries: Dict[str, dict] = {}
+    cache_hits = 0
+    for path in files:
+        rel = _rel_posix(path, root)
+        content = path.read_bytes()
+        key = hashlib.sha256(
+            content + fingerprint.encode()
+        ).hexdigest()
+        cached = cache.get(rel)
+        if cached is not None and cached.get("key") == key:
+            summaries[rel] = cached["summary"]
+            new_cache[rel] = cached
+            cache_hits += 1
+            continue
+        summary = _analyze_file(path, rel, content, active, config)
+        summaries[rel] = summary
+        new_cache[rel] = {"key": key, "summary": summary}
+    if use_cache:
+        _save_cache(cache_path, new_cache)
+
+    findings: List[Finding] = []
+    for rule in active:
+        payloads = {rel: s["rules"].get(rule.name, {})
+                    for rel, s in summaries.items()}
+        findings.extend(rule.report(payloads, config))
+    for rel, s in summaries.items():
+        for f in s.get("findings", ()):
+            findings.append(Finding(**f))
+    findings = _apply_allows(findings, summaries)
+    findings.sort(key=Finding.sort_key)
+    return LintReport(findings=findings, files_scanned=len(files),
+                      cache_hits=cache_hits)
+
+
+def _analyze_file(path: Path, rel: str, content: bytes,
+                  rules, config: LintConfig) -> dict:
+    source = content.decode("utf-8", errors="replace")
+    summary: Dict[str, object] = {"rules": {}, "allows": {},
+                                  "findings": []}
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        summary["findings"] = [{
+            "rule": "parse", "path": rel,
+            "line": exc.lineno or 1, "col": exc.offset or 0,
+            "message": f"file does not parse: {exc.msg}",
+            "severity": ERROR,
+        }]
+        return summary
+    directives = scan_directives(source, config)
+    summary["allows"] = {str(line): sorted(rules_)
+                         for line, rules_ in directives.allows.items()}
+    ctx = FileContext(path=rel, tree=tree, directives=directives,
+                      config=config)
+    for rule in rules:
+        summary["rules"][rule.name] = rule.analyze(ctx)
+    return summary
+
+
+def _apply_allows(findings: List[Finding],
+                  summaries: Dict[str, dict]) -> List[Finding]:
+    out = []
+    for f in findings:
+        allows = summaries.get(f.path, {}).get("allows", {})
+        granted = set(allows.get(str(f.line), ())) | \
+            set(allows.get(str(f.line - 1), ()))
+        if f.rule in granted or "all" in granted:
+            continue
+        out.append(f)
+    return out

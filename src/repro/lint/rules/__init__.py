@@ -1,0 +1,25 @@
+"""Per-rule AST visitors for ``repro lint``.
+
+Each rule module exposes a class with:
+
+* ``name`` — the rule identifier (``--rule NAME``);
+* ``analyze(ctx)`` — walk ``ctx.tree`` once and return a
+  JSON-serializable per-file payload (cached by content hash);
+* ``report(payloads, config)`` — turn the per-file payloads of a whole
+  run into :class:`~repro.lint.findings.Finding` records.  Most rules
+  emit findings directly from ``analyze``; ``snapshot-coverage`` defers
+  to ``report`` because resolving the ``SimComponent`` class hierarchy
+  needs every file's class index.
+"""
+
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.hotloop import HotLoopRule
+from repro.lint.rules.pickles import PickleSafetyRule
+from repro.lint.rules.snapshot import SnapshotCoverageRule
+
+__all__ = [
+    "DeterminismRule",
+    "HotLoopRule",
+    "PickleSafetyRule",
+    "SnapshotCoverageRule",
+]

@@ -1,0 +1,85 @@
+"""pickle-safety: nothing unpicklable crosses the worker boundary.
+
+The sweep engine runs every point in its own spawned process
+(``repro.experiments.sweep._spawn`` -> ``ctx.Process(target=..., args=...)``),
+so everything passed to the configured boundary callables
+(``Process``, ``apply_async``, ``submit``, ``sweep``, ``sweep_grid`` by
+default) is pickled.  The rule flags arguments that cannot survive the
+trip:
+
+* ``lambda`` expressions and generator expressions (unpicklable);
+* references to *nested* functions — only module-level functions
+  pickle by qualified name;
+* inline ``open(...)`` calls — live file handles don't cross processes.
+
+Arguments are examined one tuple/list level deep, covering the
+``args=(...)`` convention of ``multiprocessing.Process``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.findings import ERROR
+from repro.lint.rules.base import FileContext, Rule, dotted_name, finding_dict
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if sub is not node and \
+                        isinstance(sub, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    names.add(sub.name)
+    return names
+
+
+class PickleSafetyRule(Rule):
+    name = "pickle-safety"
+
+    def analyze(self, ctx: FileContext) -> dict:
+        findings: List[dict] = []
+        boundary = set(ctx.config.boundary_callables)
+        nested = _nested_function_names(ctx.tree)
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(finding_dict(
+                self.name, ctx.path, node.lineno, node.col_offset,
+                message, ERROR,
+            ))
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            d = dotted_name(node.func)
+            if d is None or d.split(".")[-1] not in boundary:
+                continue
+            callee = d.split(".")[-1]
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            flat: List[ast.AST] = []
+            for v in values:
+                if isinstance(v, (ast.Tuple, ast.List)):
+                    flat.extend(v.elts)
+                else:
+                    flat.append(v)
+            for v in flat:
+                if isinstance(v, ast.Lambda):
+                    flag(v, f"lambda passed across the {callee}() worker "
+                            "boundary cannot be pickled; use a "
+                            "module-level function")
+                elif isinstance(v, ast.GeneratorExp):
+                    flag(v, f"generator passed to {callee}() cannot be "
+                            "pickled; materialize a list first")
+                elif isinstance(v, ast.Name) and v.id in nested:
+                    flag(v, f"nested function '{v.id}' passed across the "
+                            f"{callee}() worker boundary; only "
+                            "module-level functions pickle")
+                elif isinstance(v, ast.Call) and \
+                        dotted_name(v.func) == "open":
+                    flag(v, f"open() handle passed to {callee}(); file "
+                            "handles cannot cross the worker boundary — "
+                            "pass the path and open in the worker")
+        return {"findings": findings}

@@ -28,7 +28,9 @@ def _trace_cache_max() -> int:
     reuse, so the bound is overridable via ``REPRO_TRACE_CACHE``.
     """
     try:
-        return max(1, int(os.environ.get("REPRO_TRACE_CACHE", "6")))
+        # Capacity only: eviction changes memory use, never the trace
+        # contents, so this env read cannot perturb simulated results.
+        return max(1, int(os.environ.get("REPRO_TRACE_CACHE", "6")))  # lint: allow[determinism]
     except ValueError:
         return 6
 

@@ -1,0 +1,656 @@
+"""The ``repro lint`` static-analysis suite (docs/LINTING.md).
+
+Each rule gets a positive (violating), negative (clean), and waived
+fixture tree; the engine sections cover the JSON schema, exit codes,
+rule selection, and the per-file result cache.  The final section runs
+the real linter over the real ``src/repro`` tree — the same blocking
+check CI runs — so a regression anywhere in the repo fails here first.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.config import LintConfig, load_config
+from repro.lint.findings import ERROR, WARNING
+from repro.lint.registry import rule_names
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def project(tmp_path, files, pyproject="[project]\nname = 'fixture'\n"):
+    """Materialize a fixture project tree under ``tmp_path``."""
+    (tmp_path / "pyproject.toml").write_text(pyproject)
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def lint(tmp_path, **kwargs):
+    kwargs.setdefault("use_cache", False)
+    return run_lint(root=tmp_path, **kwargs)
+
+
+def rules_hit(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# ======================================================================
+# snapshot-coverage
+# ======================================================================
+class TestSnapshotCoverage:
+    def test_uncovered_mutable_attr_is_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/comp.py": """\
+            from repro.cpu.component import SimComponent
+
+            class Counter(SimComponent):
+                def __init__(self):
+                    self.count = 0
+                def bump(self):
+                    self.count += 1
+                def reset(self):
+                    self.count = 0
+                def state_dict(self):
+                    return {}
+                def load_state_dict(self, state):
+                    pass
+            """})
+        report = lint(tmp_path, rules=["snapshot-coverage"])
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert f.severity == ERROR
+        assert "Counter.count" in f.message
+        assert "state_dict, load_state_dict" in f.message
+        assert "reset" not in f.message.split("covered by")[1]
+
+    def test_missing_reset_coverage_is_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/comp.py": """\
+            class Gauge(SimComponent):
+                def __init__(self):
+                    self.value = 0
+                def poke(self):
+                    self.value += 1
+                def reset(self):
+                    pass
+                def state_dict(self):
+                    return {"value": self.value}
+                def load_state_dict(self, state):
+                    self.value = state["value"]
+            """})
+        report = lint(tmp_path, rules=["snapshot-coverage"])
+        assert len(report.findings) == 1
+        assert "covered by reset" in report.findings[0].message
+
+    def test_covered_component_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/comp.py": """\
+            class Gauge(SimComponent):
+                _STATE_FIELDS = ("value", "_ticks")
+
+                def __init__(self):
+                    self.value = 0
+                    self._ticks = 0
+                def poke(self):
+                    self.value += 1
+                    self._ticks += 1
+                def reset(self):
+                    self.value = 0
+                    self._ticks = 0
+                def state_dict(self):
+                    return {f: getattr(self, f) for f in self._STATE_FIELDS}
+                def load_state_dict(self, state):
+                    for f in self._STATE_FIELDS:
+                        setattr(self, f, state[f])
+            """})
+        assert lint(tmp_path, rules=["snapshot-coverage"]).findings == []
+
+    def test_string_field_names_count_as_coverage(self, tmp_path):
+        # The _STATE_FIELDS idiom: "ptr" covers self._ptr.
+        project(tmp_path, {"src/repro/comp.py": """\
+            class Walker(SimComponent):
+                def __init__(self):
+                    self._ptr = 0
+                def advance(self):
+                    self._ptr += 1
+                def reset(self):
+                    self._ptr = 0
+                def state_dict(self):
+                    return {"ptr": self._ptr}
+                def load_state_dict(self, state):
+                    self._ptr = state["ptr"]
+            """})
+        assert lint(tmp_path, rules=["snapshot-coverage"]).findings == []
+
+    def test_init_only_attrs_are_configuration(self, tmp_path):
+        project(tmp_path, {"src/repro/comp.py": """\
+            class Sized(SimComponent):
+                def __init__(self, n):
+                    self.capacity = n  # never reassigned: config
+                def state_dict(self):
+                    return {}
+                def load_state_dict(self, state):
+                    pass
+                def reset(self):
+                    pass
+            """})
+        assert lint(tmp_path, rules=["snapshot-coverage"]).findings == []
+
+    def test_ephemeral_waiver_suppresses(self, tmp_path):
+        project(tmp_path, {"src/repro/comp.py": """\
+            class Cached(SimComponent):
+                def __init__(self):
+                    self._derived = None  # lint: ephemeral
+                def warm(self):
+                    self._derived = 1
+                def state_dict(self):
+                    return {}
+                def load_state_dict(self, state):
+                    pass
+                def reset(self):
+                    pass
+            """})
+        assert lint(tmp_path, rules=["snapshot-coverage"]).findings == []
+
+    def test_mutating_method_calls_count_as_mutation(self, tmp_path):
+        project(tmp_path, {"src/repro/comp.py": """\
+            class Bag(SimComponent):
+                def __init__(self):
+                    self.items = []
+                def put(self, x):
+                    self.items.append(x)
+                def state_dict(self):
+                    return {}
+                def load_state_dict(self, state):
+                    pass
+                def reset(self):
+                    self.items.clear()
+            """})
+        report = lint(tmp_path, rules=["snapshot-coverage"])
+        assert len(report.findings) == 1
+        assert "Bag.items" in report.findings[0].message
+
+    def test_transitive_helper_coverage(self, tmp_path):
+        # reset() delegating to clear() still covers the attribute.
+        project(tmp_path, {"src/repro/comp.py": """\
+            class Buffer(SimComponent):
+                def __init__(self):
+                    self.entries = []
+                def put(self, x):
+                    self.entries.append(x)
+                def clear(self):
+                    self.entries = []
+                def reset(self):
+                    self.clear()
+                def state_dict(self):
+                    return {"entries": list(self.entries)}
+                def load_state_dict(self, state):
+                    self.entries = list(state["entries"])
+            """})
+        assert lint(tmp_path, rules=["snapshot-coverage"]).findings == []
+
+    def test_cross_file_inherited_protocol(self, tmp_path):
+        # Child inherits Base's vars(self)-based snapshot: covered.
+        # Orphan inherits a snapshot that names only Base's fields: not.
+        files = {
+            "src/repro/base.py": """\
+                class DynamicBase(SimComponent):
+                    def state_dict(self):
+                        return dict(vars(self))
+                    def load_state_dict(self, state):
+                        self.__dict__.update(state)
+                    def reset(self):
+                        for key in vars(self):
+                            setattr(self, key, 0)
+
+                class NarrowBase(SimComponent):
+                    def __init__(self):
+                        self.x = 0
+                    def tick(self):
+                        self.x += 1
+                    def state_dict(self):
+                        return {"x": self.x}
+                    def load_state_dict(self, state):
+                        self.x = state["x"]
+                    def reset(self):
+                        self.x = 0
+                """,
+            "src/repro/child.py": """\
+                from repro.base import DynamicBase, NarrowBase
+
+                class Child(DynamicBase):
+                    def __init__(self):
+                        self.score = 0
+                    def bump(self):
+                        self.score += 1
+
+                class Orphan(NarrowBase):
+                    def __init__(self):
+                        super().__init__()
+                        self.extra = 0
+                    def bump(self):
+                        self.extra += 1
+                """,
+        }
+        project(tmp_path, files)
+        report = lint(tmp_path, rules=["snapshot-coverage"])
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "Orphan.extra" in f.message
+        assert f.path == "src/repro/child.py"
+
+    def test_non_components_are_ignored(self, tmp_path):
+        project(tmp_path, {"src/repro/plain.py": """\
+            class Helper:
+                def __init__(self):
+                    self.n = 0
+                def bump(self):
+                    self.n += 1
+            """})
+        assert lint(tmp_path, rules=["snapshot-coverage"]).findings == []
+
+
+# ======================================================================
+# determinism
+# ======================================================================
+class TestDeterminism:
+    def test_forbidden_idioms_on_simulation_path(self, tmp_path):
+        project(tmp_path, {"src/repro/cpu/mod.py": """\
+            import os
+            import random
+            import time
+
+            def f(pages):
+                t = time.time()
+                knob = os.getenv("KNOB")
+                other = os.environ.get("OTHER")
+                r = random.random()
+                h = hash("label")
+                for p in {1, 2, 3}:
+                    pages.append(p)
+                return t, knob, other, r, h
+            """})
+        report = lint(tmp_path, rules=["determinism"])
+        messages = " | ".join(f.message for f in report.findings)
+        assert len(report.findings) == 6
+        assert "time.time" in messages
+        assert "os.getenv" in messages
+        assert "os.environ" in messages
+        assert "random.random" in messages
+        assert "hash()" in messages
+        assert "set literal" in messages
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/cpu/mod.py": """\
+            import random
+
+            def f():
+                rng = random.Random(42)
+                return rng.random()
+            """})
+        assert lint(tmp_path, rules=["determinism"]).findings == []
+
+    def test_unseeded_random_constructor_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/cpu/mod.py": """\
+            import random
+
+            def f():
+                return random.Random()
+            """})
+        report = lint(tmp_path, rules=["determinism"])
+        assert len(report.findings) == 1
+        assert "without a seed" in report.findings[0].message
+
+    def test_outside_determinism_paths_is_exempt(self, tmp_path):
+        project(tmp_path, {"src/repro/tools/mod.py": """\
+            import time
+
+            def f():
+                return time.time()
+            """})
+        assert lint(tmp_path, rules=["determinism"]).findings == []
+
+    def test_env_read_in_env_ok_path_is_policy(self, tmp_path):
+        # src/repro/cpu/config.py is determinism-scoped but env-exempt.
+        project(tmp_path, {"src/repro/cpu/config.py": """\
+            import os
+
+            def knob():
+                return os.environ.get("REPRO_KNOB", "0")
+            """})
+        assert lint(tmp_path, rules=["determinism"]).findings == []
+
+    def test_allow_waiver_suppresses(self, tmp_path):
+        project(tmp_path, {"src/repro/cpu/mod.py": """\
+            import os
+
+            def capacity():
+                # lint: allow[determinism]
+                return int(os.environ.get("CAP", "6"))
+            """})
+        assert lint(tmp_path, rules=["determinism"]).findings == []
+
+
+# ======================================================================
+# hot-loop
+# ======================================================================
+class TestHotLoop:
+    def test_allocation_inside_fence_is_error(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def run(items, out):
+                # lint: hot-begin
+                for x in items:
+                    out.append([x, x + 1])
+                # lint: hot-end
+            """})
+        report = lint(tmp_path, rules=["hot-loop"])
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert f.severity == ERROR
+        assert "list display" in f.message
+
+    def test_repeated_attr_chain_is_warning(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            class Sim:
+                def run(self, items):
+                    total = 0
+                    # lint: hot-begin
+                    for x in items:
+                        total += self.stats.hits
+                        total -= self.stats.hits
+                    # lint: hot-end
+                    return total
+            """})
+        report = lint(tmp_path, rules=["hot-loop"])
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert f.severity == WARNING
+        assert "self.stats.hits" in f.message
+
+    def test_module_global_read_in_fenced_loop(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            PENALTY = 15.0
+
+            def run(items):
+                total = 0.0
+                # lint: hot-begin
+                for x in items:
+                    total += PENALTY
+                # lint: hot-end
+                return total
+            """})
+        report = lint(tmp_path, rules=["hot-loop"])
+        assert len(report.findings) == 1
+        assert "'PENALTY'" in report.findings[0].message
+
+    def test_hoisted_version_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            PENALTY = 15.0
+
+            def run(items):
+                penalty = PENALTY
+                total = 0.0
+                # lint: hot-begin
+                for x in items:
+                    total += penalty
+                # lint: hot-end
+                return total
+            """})
+        assert lint(tmp_path, rules=["hot-loop"]).findings == []
+
+    def test_outside_fence_is_not_checked(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            PENALTY = 15.0
+
+            def run(items):
+                out = []
+                for x in items:
+                    out.append([x, PENALTY])
+                return out
+            """})
+        assert lint(tmp_path, rules=["hot-loop"]).findings == []
+
+    def test_fenced_path_without_fence_is_error(self, tmp_path):
+        project(tmp_path, {"src/repro/cpu/simulator.py": """\
+            def run(items):
+                return sum(items)
+            """})
+        report = lint(tmp_path, rules=["hot-loop"])
+        assert len(report.findings) == 1
+        assert "fenced-paths" in report.findings[0].message
+
+    def test_unbalanced_fence_is_reported(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def run(items):
+                # lint: hot-begin
+                return sum(items)
+            """})
+        report = lint(tmp_path, rules=["hot-loop"])
+        assert any("never closed" in f.message for f in report.findings)
+
+    def test_unknown_directive_is_reported(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            X = 1  # lint: hotbegin
+            """})
+        report = lint(tmp_path, rules=["hot-loop"])
+        assert len(report.findings) == 1
+        assert "unknown lint directive" in report.findings[0].message
+
+
+# ======================================================================
+# pickle-safety
+# ======================================================================
+class TestPickleSafety:
+    def test_unpicklable_boundary_args_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            from multiprocessing import Process
+
+            def launch(path):
+                def helper(x):
+                    return x
+
+                p = Process(target=lambda: 1,
+                            args=(open(path), helper))
+                return p
+            """})
+        report = lint(tmp_path, rules=["pickle-safety"])
+        messages = " | ".join(f.message for f in report.findings)
+        assert len(report.findings) == 3
+        assert "lambda" in messages
+        assert "open() handle" in messages
+        assert "'helper'" in messages
+
+    def test_module_level_target_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            from multiprocessing import Process
+
+            def work(n):
+                return n * 2
+
+            def launch():
+                return Process(target=work, args=(3,))
+            """})
+        assert lint(tmp_path, rules=["pickle-safety"]).findings == []
+
+    def test_non_boundary_calls_are_ignored(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def apply(fn):
+                return fn()
+
+            def run():
+                return apply(lambda: 1)
+            """})
+        assert lint(tmp_path, rules=["pickle-safety"]).findings == []
+
+
+# ======================================================================
+# Engine: config, cache, output formats, exit codes
+# ======================================================================
+CLEAN = {"src/repro/mod.py": "X = 1\n"}
+DIRTY = {"src/repro/mod.py": """\
+    def run(items, out):
+        # lint: hot-begin
+        for x in items:
+            out.append([x])
+        # lint: hot-end
+    """}
+
+
+class TestEngine:
+    def test_clean_tree_empty_report(self, tmp_path):
+        project(tmp_path, CLEAN)
+        report = lint(tmp_path)
+        assert report.findings == []
+        assert report.files_scanned == 1
+        assert not report.failed(WARNING)
+
+    def test_rule_selection(self, tmp_path):
+        project(tmp_path, DIRTY)
+        assert rules_hit(lint(tmp_path)) == ["hot-loop"]
+        assert lint(tmp_path, rules=["determinism"]).findings == []
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint(tmp_path, rules=["nope"])
+
+    def test_unknown_config_key_rejected(self, tmp_path):
+        project(tmp_path, CLEAN,
+                pyproject="[tool.repro.lint]\nbogus = ['x']\n")
+        with pytest.raises(ValueError, match="bogus"):
+            load_config(tmp_path)
+
+    def test_config_table_overrides(self, tmp_path):
+        project(tmp_path, {"src/repro/other.py": "import time\n"
+                                                 "t = time.time()\n"},
+                pyproject="[tool.repro.lint]\n"
+                          "determinism-paths = ['src/repro']\n"
+                          "fenced-paths = []\n")
+        report = lint(tmp_path)
+        assert rules_hit(report) == ["determinism"]
+
+    def test_explicit_paths_override_config(self, tmp_path):
+        project(tmp_path, dict(DIRTY, **{
+            "scripts/helper.py": "Y = 2\n"}))
+        report = run_lint(paths=[tmp_path / "scripts"], root=tmp_path,
+                          use_cache=False)
+        assert report.files_scanned == 1
+        assert report.findings == []
+
+    def test_missing_path_raises(self, tmp_path):
+        project(tmp_path, CLEAN)
+        with pytest.raises(FileNotFoundError):
+            run_lint(paths=[tmp_path / "no/such/dir"], root=tmp_path,
+                     use_cache=False)
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        project(tmp_path, {"src/repro/bad.py": "def broken(:\n"})
+        report = lint(tmp_path)
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert f.rule == "parse" and f.severity == ERROR
+
+    def test_cache_roundtrip_and_invalidation(self, tmp_path):
+        project(tmp_path, dict(DIRTY, **CLEAN,
+                               **{"src/repro/extra.py": "Z = 3\n"}))
+        first = run_lint(root=tmp_path)
+        assert first.cache_hits == 0
+        assert (tmp_path / ".repro-lint-cache.json").is_file()
+
+        second = run_lint(root=tmp_path)
+        assert second.cache_hits == second.files_scanned == 2
+        assert [f.message for f in second.findings] == \
+            [f.message for f in first.findings]
+
+        (tmp_path / "src/repro/extra.py").write_text("Z = 4\n")
+        third = run_lint(root=tmp_path)
+        assert third.cache_hits == 1
+
+    def test_findings_are_sorted_and_stable(self, tmp_path):
+        project(tmp_path, {
+            "src/repro/cpu/b.py": "import time\nt = time.time()\n",
+            "src/repro/cpu/a.py": "import time\nu = time.time()\n",
+        })
+        report = lint(tmp_path)
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+
+
+class TestCli:
+    def test_json_schema_and_exit_zero(self, tmp_path, capsys):
+        project(tmp_path, CLEAN)
+        rc = lint_main(["--root", str(tmp_path), "--format", "json",
+                        "--no-cache"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+        assert payload["counts"] == {"error": 0, "warning": 0}
+        assert payload["files_scanned"] == 1
+        assert payload["cache_hits"] == 0
+
+    def test_findings_exit_nonzero_with_locations(self, tmp_path, capsys):
+        project(tmp_path, DIRTY)
+        rc = lint_main(["--root", str(tmp_path), "--format", "json",
+                        "--no-cache"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        (f,) = payload["findings"]
+        assert set(f) == {"rule", "path", "line", "col", "message",
+                          "severity"}
+        assert f["path"] == "src/repro/mod.py"
+        assert f["line"] == 4
+
+    def test_fail_on_error_passes_warnings(self, tmp_path, capsys):
+        project(tmp_path, {"src/repro/mod.py": """\
+            class Sim:
+                def run(self, items):
+                    total = 0
+                    # lint: hot-begin
+                    for x in items:
+                        total += self.stats.hits + self.stats.hits
+                    # lint: hot-end
+                    return total
+            """})
+        root = str(tmp_path)
+        assert lint_main(["--root", root, "--no-cache"]) == 1
+        capsys.readouterr()
+        assert lint_main(["--root", root, "--no-cache",
+                          "--fail-on", "error"]) == 0
+
+    def test_usage_error_exit_two(self, tmp_path, capsys):
+        project(tmp_path, CLEAN)
+        rc = lint_main(["--root", str(tmp_path), "--no-cache",
+                        "no/such/path"])
+        assert rc == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+    def test_text_format_summary_line(self, tmp_path, capsys):
+        project(tmp_path, DIRTY)
+        lint_main(["--root", str(tmp_path), "--no-cache"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0].startswith("src/repro/mod.py:4:")
+        assert out[-1].endswith("in 1 file(s) (0 cached)")
+
+
+# ======================================================================
+# The real tree
+# ======================================================================
+class TestRealTree:
+    def test_repository_is_lint_clean(self):
+        """The blocking CI invariant: HEAD has zero findings."""
+        report = run_lint(root=REPO_ROOT, use_cache=False)
+        assert report.findings == [], "\n".join(
+            f"{f.path}:{f.line}: [{f.rule}] {f.message}"
+            for f in report.findings)
+        assert report.files_scanned > 50
+
+    def test_every_rule_registered(self):
+        assert rule_names() == ["determinism", "hot-loop",
+                                "pickle-safety", "snapshot-coverage"]
+
+    def test_repo_config_matches_defaults(self):
+        """[tool.repro.lint] restates the defaults explicitly — drift
+        between the table and config.py would silently change scope."""
+        assert load_config(REPO_ROOT) == LintConfig()
