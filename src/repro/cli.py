@@ -29,7 +29,12 @@ from repro.analysis.metrics import compare_run
 from repro.analysis.reporting import format_table
 from repro.cpu import DEFAULT_WARMUP, MachineConfig, simulate
 from repro.prefetchers import PREFETCHER_NAMES, make_prefetcher
-from repro.workloads.suite import SCALES, WORKLOAD_NAMES, workload_params
+from repro.workloads.suite import (
+    ALL_WORKLOAD_NAMES,
+    SCALES,
+    WORKLOAD_NAMES,
+    workload_params,
+)
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +53,11 @@ def _get_trace(args):
 
 
 def cmd_list(_args) -> int:
+    from repro.workloads.microservices import (
+        MICROSERVICE_NAMES,
+        request_graphs,
+    )
+
     rows = []
     for name in WORKLOAD_NAMES:
         params = workload_params(name)
@@ -58,6 +68,24 @@ def cmd_list(_args) -> int:
         ])
     print(format_table(
         ["workload", "stages", "req_types", "routines_kb", "threshold_kb"],
+        rows,
+    ))
+    rows = []
+    for name in MICROSERVICE_NAMES:
+        params = workload_params(name)
+        graphs = request_graphs(params)
+        rows.append([
+            name, len(params.services), params.n_request_types,
+            max(g.depth() for g in graphs),
+            f"{params.total_routine_kb():.0f}",
+            f"{params.arrival.utilization:.2f}",
+            f"{params.arrival.slo_factor:.1f}",
+        ])
+    print("\nmicroservice request-graph workloads "
+          "(per-request SLO metrics; docs/MICROSERVICES.md):")
+    print(format_table(
+        ["workload", "services", "req_types", "max_depth", "endpoints_kb",
+         "utilization", "slo_factor"],
         rows,
     ))
     print(f"\nprefetchers: {', '.join(PREFETCHER_NAMES)}")
@@ -121,7 +149,7 @@ def cmd_sweep(args) -> int:
         if not args.workloads:
             return 0
     workloads = args.workloads or list(WORKLOAD_NAMES)
-    unknown = [w for w in workloads if w not in WORKLOAD_NAMES]
+    unknown = [w for w in workloads if w not in ALL_WORKLOAD_NAMES]
     if unknown:
         print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
@@ -144,22 +172,37 @@ def cmd_sweep(args) -> int:
     results = report.results
     baselines = {r.point.workload: r.stats for r in results
                  if r.point.prefetcher is None}
+    # Request-latency columns appear when any swept workload carries
+    # per-request SLO accounting (the microservice family).
+    with_slo = any(r.stats.has_request_latency for r in results)
     rows = []
     for r in results:
         base = baselines.get(r.point.workload)
         speedup = ("-" if r.point.prefetcher is None or base is None
                    else f"{r.stats.ipc / base.ipc - 1:+.1%}")
-        rows.append([
+        row = [
             r.point.workload, r.point.prefetcher or "fdip",
             f"{r.stats.ipc:.3f}", f"{r.stats.l1i_mpki:.2f}", speedup,
-            r.source, f"{r.seconds:.2f}",
-        ])
+        ]
+        if with_slo:
+            if r.stats.has_request_latency:
+                extra = r.stats.extra
+                row += [
+                    f"{extra['request.p50']:.0f}",
+                    f"{extra['request.p95']:.0f}",
+                    f"{extra['request.p99']:.0f}",
+                    f"{r.stats.slo_attainment:.1%}",
+                ]
+            else:
+                row += ["-", "-", "-", "-"]
+        row += [r.source, f"{r.seconds:.2f}"]
+        rows.append(row)
+    header = ["workload", "prefetcher", "ipc", "l1i_mpki", "speedup"]
+    if with_slo:
+        header += ["p50", "p95", "p99", "slo"]
+    header += ["source", "secs"]
     print()
-    print(format_table(
-        ["workload", "prefetcher", "ipc", "l1i_mpki", "speedup",
-         "source", "secs"],
-        rows,
-    ))
+    print(format_table(header, rows))
     s = runner.run_cache_stats()
     simulated = s.simulations - before.simulations
     disk = s.disk_hits - before.disk_hits
@@ -197,7 +240,7 @@ def cmd_probe(args) -> int:
     mpki = stats.extra["probe.l1i_mpki"]
     acc = stats.extra["probe.pf_accuracy"]
     if args.json:
-        print(json.dumps({
+        payload = {
             "workload": args.workload,
             "prefetcher": args.prefetcher,
             "interval": args.interval,
@@ -206,7 +249,22 @@ def cmd_probe(args) -> int:
             "ipc": list(ipc),
             "l1i_mpki": list(mpki),
             "pf_accuracy": list(acc),
-        }))
+        }
+        if stats.has_request_latency:
+            extra = stats.extra
+            payload["requests"] = {
+                "count": extra["request.count"],
+                "p50": extra["request.p50"],
+                "p95": extra["request.p95"],
+                "p99": extra["request.p99"],
+                "slo_threshold": extra["request.slo_threshold"],
+                "slo_attainment": extra["request.slo_attainment"],
+                "window": extra["request.window"],
+                "latency": list(extra["probe.request_latency"]),
+                "timeline_p99": list(extra["probe.request_p99"]),
+                "timeline_slo": list(extra["probe.request_slo"]),
+            }
+        print(json.dumps(payload))
         return 0
     print(f"{args.workload} @ {args.scale}, {args.prefetcher}: "
           f"{len(instructions)} samples every {args.interval} instructions")
@@ -219,6 +277,27 @@ def cmd_probe(args) -> int:
     ))
     print(f"\nwhole window: IPC {stats.ipc:.3f}, "
           f"L1-I MPKI {stats.l1i_mpki:.2f}")
+    if stats.has_request_latency:
+        extra = stats.extra
+        print(f"\nper-request latency ({int(extra['request.count'])} "
+              f"requests, SLO threshold "
+              f"{extra['request.slo_threshold']:.0f} cycles):")
+        print(f"  p50 {extra['request.p50']:.0f}  "
+              f"p95 {extra['request.p95']:.0f}  "
+              f"p99 {extra['request.p99']:.0f}  "
+              f"max {extra['request.max']:.0f}  "
+              f"SLO attainment {stats.slo_attainment:.1%}")
+        window = int(extra["request.window"])
+        rows = [
+            [f"{i * window}", f"{p50:.0f}", f"{p95:.0f}", f"{p99:.0f}",
+             f"{slo:.1%}"]
+            for i, (p50, p95, p99, slo) in enumerate(zip(
+                extra["probe.request_p50"], extra["probe.request_p95"],
+                extra["probe.request_p99"], extra["probe.request_slo"]))
+        ]
+        print(format_table(
+            ["request#", "p50", "p95", "p99", "slo"], rows,
+        ))
     return 0
 
 
@@ -347,13 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list workloads and prefetchers")
 
     run = sub.add_parser("run", help="simulate one prefetcher")
-    run.add_argument("workload", choices=WORKLOAD_NAMES)
+    run.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
     run.add_argument("--prefetcher", default="hierarchical",
                      choices=PREFETCHER_NAMES)
     _add_scale(run)
 
     cmp_ = sub.add_parser("compare", help="run the comparison set")
-    cmp_.add_argument("workload", choices=WORKLOAD_NAMES)
+    cmp_.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
     cmp_.add_argument("--prefetchers", nargs="+",
                       default=["efetch", "mana", "eip", "hierarchical"],
                       choices=[n for n in PREFETCHER_NAMES if n != "fdip"])
@@ -396,7 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample IPC/miss-rate/accuracy timelines over the measured "
              "window via the interval probe bus",
     )
-    probe.add_argument("workload", choices=WORKLOAD_NAMES)
+    probe.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
     probe.add_argument("--prefetcher", default="hierarchical",
                        choices=PREFETCHER_NAMES)
     probe.add_argument("--interval", type=int, default=20_000,
@@ -425,7 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. '15%%' or '0.15'; default: 15%%)")
 
     bundles = sub.add_parser("bundles", help="Algorithm 1 report")
-    bundles.add_argument("workload", choices=WORKLOAD_NAMES)
+    bundles.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
     bundles.add_argument("--threshold", type=int, default=0,
                          help="divergence threshold in KB "
                               "(default: the workload's)")
@@ -434,11 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     char = sub.add_parser("characterize",
                           help="structural workload profile")
-    char.add_argument("workload", choices=WORKLOAD_NAMES)
+    char.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
     _add_scale(char)
 
     trace = sub.add_parser("trace", help="generate and save a trace")
-    trace.add_argument("workload", choices=WORKLOAD_NAMES)
+    trace.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
     trace.add_argument("-o", "--output", required=True,
                        help="output .npz path")
     _add_scale(trace)

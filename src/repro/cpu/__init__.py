@@ -10,6 +10,7 @@ configurations produce identical cycle counts.
 from repro.cpu.component import ComponentRegistry, SimComponent
 from repro.cpu.config import DEFAULT_WARMUP, CoreConfig, MachineConfig
 from repro.cpu.probes import ProbeBus
+from repro.cpu.requests import RequestLatencyTracker
 from repro.cpu.simulator import FrontEndSimulator, simulate
 from repro.cpu.stats import SimStats
 
@@ -28,6 +29,7 @@ __all__ = [
     "ComponentRegistry",
     "SimComponent",
     "ProbeBus",
+    "RequestLatencyTracker",
     "CoreConfig",
     "DEFAULT_WARMUP",
     "MachineConfig",

@@ -37,6 +37,7 @@ from repro.cpu.component import ComponentRegistry, SimComponent, \
     check_state_fields
 from repro.cpu.config import DEFAULT_WARMUP, MachineConfig
 from repro.cpu.probes import ProbeBus
+from repro.cpu.requests import RequestLatencyTracker
 from repro.cpu.stats import SimStats
 from repro.frontend.fdip import FDIPFrontEnd, PEN_BTB_MISS, PEN_MISPREDICT
 from repro.memory.hierarchy import MemoryHierarchy
@@ -52,6 +53,7 @@ class FrontEndSimulator(SimComponent):
         prefetcher=None,
         track_block_misses: bool = False,
         probe_interval: int = 0,
+        track_requests: Optional[bool] = None,
     ):
         self.config = config or MachineConfig()
         self.components = ComponentRegistry()
@@ -75,6 +77,15 @@ class FrontEndSimulator(SimComponent):
         if track_block_misses:
             self.hierarchy.l2_miss_map = {}
         self.probes = ProbeBus(probe_interval)
+        #: Per-request latency accounting (see repro.cpu.requests).
+        #: ``track_requests=None`` auto-enables on traces that carry an
+        #: open-loop arrival process (``trace.request_gaps``); ``False``
+        #: forces it off, ``True`` demands it (errors at measurement
+        #: start if the trace has no arrivals).  Like the probe bus,
+        #: tracker state is measurement-local and excluded from machine
+        #: snapshots.
+        self._track_requests = track_requests
+        self.reqtrack = RequestLatencyTracker()
         self.now = 0.0
         self.commit_index = 0
         self.trace = None
@@ -136,20 +147,34 @@ class FrontEndSimulator(SimComponent):
         if not self._measuring:
             self._begin_measurement()
         probes = self.probes
-        if probes.enabled:
+        reqtrack = self.reqtrack
+        if probes.enabled or reqtrack.active:
+            # Pre-split the measurement window at probe intervals and
+            # request boundaries; the hot loop runs each chunk unmodified
+            # (the zero-overhead-when-disabled contract extends to the
+            # request tracker: without arrivals this branch is untaken).
             nin = trace.ninstr
+            probing = probes.enabled
             i = self._next_index
             counted = self.stats.instructions
+            target = 0
             while i < n:
-                target = probes.next_fire
-                j = i
-                while j < n and counted < target:
-                    counted += nin[j]
-                    j += 1
+                rb = reqtrack.next_boundary  # sentinel when inactive
+                bound = rb if rb < n else n
+                if probing:
+                    target = probes.next_fire
+                    j = i
+                    while j < bound and counted < target:
+                        counted += nin[j]
+                        j += 1
+                else:
+                    j = bound
                 self._run_range(i, j)
                 self._next_index = j
                 i = j
-                if counted >= target:
+                if j == rb:  # rb is the sentinel when inactive: no match
+                    reqtrack.record(self.now)
+                if probing and counted >= target:
                     probes.fire(self)
         else:
             self._run_range(self._next_index, n)
@@ -188,6 +213,17 @@ class FrontEndSimulator(SimComponent):
         if self.prefetcher is not None:
             self.prefetcher.on_measurement_start()
         self.probes.begin()
+        enabled = self._track_requests
+        if enabled is None:
+            enabled = getattr(self.trace, "request_gaps", None) is not None
+        elif enabled and getattr(self.trace, "request_gaps", None) is None:
+            raise ValueError(
+                "track_requests=True but the trace carries no open-loop "
+                "arrival process (request_gaps); generate it from an "
+                "application with an ArrivalSpec"
+            )
+        self.reqtrack.begin(self.trace, self._next_index,
+                            self.config.core.commit_width, enabled)
 
     def _finish_measurement(self) -> None:
         stats = self.stats
@@ -198,6 +234,7 @@ class FrontEndSimulator(SimComponent):
         if self.prefetcher is not None:
             self.prefetcher.on_measurement_end()
         self.probes.publish(stats)
+        self.reqtrack.publish(stats)
 
     def _run_range(self, start: int, end: int) -> None:
         # The commit loop.  Everything it touches per iteration is a
@@ -327,6 +364,7 @@ class FrontEndSimulator(SimComponent):
         self._itlb_acc0 = 0
         self._itlb_miss0 = 0
         self.probes.begin()
+        self.reqtrack.reset()
 
     def state_dict(self) -> Dict[str, object]:
         """Complete machine snapshot (components + commit position).
@@ -374,6 +412,7 @@ def simulate(
     warmup_fraction: float = DEFAULT_WARMUP,
     track_block_misses: bool = False,
     probe_interval: int = 0,
+    track_requests: Optional[bool] = None,
 ) -> SimStats:
     """One-shot convenience wrapper around :class:`FrontEndSimulator`."""
     sim = FrontEndSimulator(
@@ -381,5 +420,6 @@ def simulate(
         prefetcher=prefetcher,
         track_block_misses=track_block_misses,
         probe_interval=probe_interval,
+        track_requests=track_requests,
     )
     return sim.run(trace, warmup_fraction=warmup_fraction)

@@ -137,6 +137,36 @@ class SimStats(SimComponent):
         return sum(self.exposed_latency.values())
 
     # ------------------------------------------------------------------
+    # Per-request latency (request-graph workloads; see repro.cpu.requests)
+    # ------------------------------------------------------------------
+    @property
+    def has_request_latency(self) -> bool:
+        """True when the run carried per-request latency accounting."""
+        return "request.count" in self.extra
+
+    def request_latency(self, q: float) -> float:
+        """Request-latency percentile in cycles (q in [0, 100]).
+
+        Pre-computed p50/p95/p99 are returned directly; other
+        percentiles are derived from the per-request series.  0.0 when
+        the run had no request accounting.
+        """
+        key = f"request.p{int(q)}"
+        if key in self.extra and float(q) == int(q):
+            return self.extra[key]
+        series = self.extra.get("probe.request_latency")
+        if not series:
+            return 0.0
+        from repro.cpu.requests import percentile
+
+        return percentile(sorted(series), q)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of measured requests meeting the SLO threshold."""
+        return self.extra.get("request.slo_attainment", 0.0)
+
+    # ------------------------------------------------------------------
     # Serialization (disk cache / cross-process transport)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, object]:

@@ -30,6 +30,13 @@ from repro.experiments.errors import (
     WorkerCrashError,
 )
 from repro.experiments.faults import Fault, FaultPlan
+from repro.experiments.slo import (
+    SLO_PREFETCHERS,
+    fig18_slo_grid,
+    fig19_slo_timeline,
+    slo_sweep,
+    tab05_slo_summary,
+)
 from repro.experiments.sweep import (
     SweepPoint,
     SweepReport,
@@ -63,4 +70,9 @@ __all__ = [
     "grid",
     "sweep",
     "sweep_grid",
+    "SLO_PREFETCHERS",
+    "slo_sweep",
+    "fig18_slo_grid",
+    "tab05_slo_summary",
+    "fig19_slo_timeline",
 ]

@@ -10,8 +10,22 @@ from repro.prefetchers.eip import EIPPrefetcher
 from repro.prefetchers.mana import ManaPrefetcher
 
 #: Names accepted by :func:`make_prefetcher`, in the paper's order
-#: (plus the RDIP extension baseline, §2.3).
-PREFETCHER_NAMES = ("fdip", "efetch", "mana", "eip", "hierarchical", "rdip", "pif")
+#: (plus the RDIP extension baseline, §2.3, and the compressed-metadata
+#: HP variant evaluated on the microservice SLO grid).
+PREFETCHER_NAMES = ("fdip", "efetch", "mana", "eip", "hierarchical", "rdip",
+                    "pif", "hp_compressed")
+
+#: HPConfig overrides of the ``hp_compressed`` variant: a Metadata
+#: Buffer four times smaller, compensated by coarser-grained compressed
+#: records — more spatial-region entries per bundle segment and wider
+#: regions — so one shared buffer can cover many services' footprints
+#: (the SLOFetch direction: compressed per-service metadata).
+HP_COMPRESSED_OVERRIDES = {
+    "metadata_buffer_bytes": 128 * 1024,
+    "compression_entries": 32,
+    "region_blocks": 8,
+    "initial_segments": 3,
+}
 
 
 def make_prefetcher(name: str, **kwargs) -> Optional[InstructionPrefetcher]:
@@ -40,14 +54,19 @@ def make_prefetcher(name: str, **kwargs) -> Optional[InstructionPrefetcher]:
         from repro.prefetchers.pif import PIFPrefetcher
 
         return PIFPrefetcher(**kwargs)
-    if key in ("hierarchical", "hp"):
+    if key in ("hierarchical", "hp", "hp_compressed"):
         # Imported here: repro.core.prefetcher depends on the base class
         # in this package.
         from repro.core.prefetcher import HierarchicalPrefetcher, HPConfig
 
         config = kwargs.get("config")
         if isinstance(config, dict):
+            if key == "hp_compressed":
+                config = {**HP_COMPRESSED_OVERRIDES, **config}
             kwargs = dict(kwargs, config=HPConfig(**config))
+        elif key == "hp_compressed" and config is None:
+            kwargs = dict(kwargs,
+                          config=HPConfig(**HP_COMPRESSED_OVERRIDES))
         return HierarchicalPrefetcher(**kwargs)
     raise ValueError(
         f"unknown prefetcher {name!r}; expected one of {PREFETCHER_NAMES}"

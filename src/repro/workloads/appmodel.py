@@ -13,7 +13,7 @@ from everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.isa.binary import Binary
 from repro.isa.loader import LoadedProgram
@@ -32,6 +32,34 @@ class StageSpec:
     shared_frac: float = 0.3
     #: Probability that a given request type skips this stage entirely.
     skip_prob: float = 0.0
+
+
+@dataclass
+class ArrivalSpec:
+    """Open-loop arrival process for request-graph workloads.
+
+    Arrival times are expressed on an *ideal clock* (committed
+    instructions at full commit width), so the same trace presents the
+    identical offered load to every prefetcher under test — the
+    SLOFetch-style methodology where only service times (and therefore
+    queueing) respond to front-end quality.
+    """
+
+    #: Offered load as a fraction of ideal service capacity.  The mean
+    #: inter-arrival gap is ``mean_request_instructions / utilization``.
+    utilization: float = 0.65
+    #: Probability that the next request repeats the previous type
+    #: (tenancy burstiness: same-tenant requests cluster in time).
+    burst_repeat_prob: float = 0.6
+    #: Inter-arrival gap multiplier inside an arrival burst.
+    burst_gap_scale: float = 0.25
+    #: Inter-arrival gap multiplier between bursts.
+    idle_gap_scale: float = 2.0
+    #: Expected burst length in requests (geometric).
+    burst_len: float = 6.0
+    #: SLO threshold as a multiple of the mean *ideal* request service
+    #: time (instructions / commit width).
+    slo_factor: float = 6.0
 
 
 @dataclass
@@ -96,6 +124,7 @@ class Application:
         route_map: List[Dict[str, str]],
         stage_names: Sequence[str],
         request_weights: Sequence[float],
+        arrival: Optional["ArrivalSpec"] = None,
     ):
         self.params = params
         self.binary = binary
@@ -108,6 +137,11 @@ class Application:
         self.stage_names = list(stage_names)
         #: Normalized request-type popularity (Zipf).
         self.request_weights = list(request_weights)
+        #: Open-loop arrival process (request-graph workloads only).
+        #: When set, traces carry per-request inter-arrival gaps and an
+        #: SLO threshold, and the simulator's request-latency tracker
+        #: auto-enables on them.
+        self.arrival = arrival
 
     @property
     def name(self) -> str:

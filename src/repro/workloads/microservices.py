@@ -1,0 +1,416 @@
+"""Microservice request-graph workloads (SLOFetch-style scenarios).
+
+The paper evaluates monolithic server applications; this module opens
+the cloud-microservice workload family: a set of *services* with
+distinct code footprints, composed per request type into a seeded RPC
+fan-out DAG.  On the one simulated core an RPC hop is a call through
+the shared RPC runtime into the callee service's endpoint routine, so a
+request graph compiles to a deep call tree spanning several services —
+exactly the deep-call-chain, large-footprint behavior that separates
+instruction prefetchers (FDIP Revisited, arXiv 2006.13547).
+
+Construction (all seeded, byte-deterministic):
+
+* a shared RPC runtime — hot pool (dispatch/locks) plus a marshal/
+  transport library — touched on every hop of every request;
+* per service: a private helper library and ``n_endpoints`` endpoint
+  routines built with the monolithic generator's call-tree machinery
+  (so endpoints carry the same optional-call / switch divergence);
+* per request type: a DAG over the services.  Edges only point from a
+  service to strictly higher-indexed services, so the graph is acyclic
+  by construction; per-node fan-out and depth are bounded by the
+  params.  Each DAG node becomes a thin RPC wrapper function calling
+  marshal code, the endpoint routine, the child wrappers, and reply
+  code — depth-first execution of the fan-out tree;
+* one indirect-call dispatcher (the "rpc" stage) selects the request
+  type's root wrapper, mirroring the monolithic request loop so the
+  existing :class:`~repro.workloads.trace.TraceBuilder` interprets the
+  binary unchanged.
+
+Request traces additionally carry *mixed tenancy* (bursty request-type
+sequences: with ``ArrivalSpec.burst_repeat_prob`` the next request
+repeats the previous type) and a bursty open-loop arrival process
+(per-request inter-arrival gaps on an ideal-instruction clock) that the
+simulator's request-latency tracker turns into p50/p95/p99 latency and
+SLO attainment — see :mod:`repro.cpu.requests`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.binary import Binary, BlockSpec, Function
+from repro.isa.instructions import BranchKind
+from repro.isa.linker import Linker
+from repro.isa.loader import LoadedProgram
+from repro.workloads.appmodel import (
+    Application,
+    AppParams,
+    ArrivalSpec,
+    zipf_weights,
+)
+from repro.workloads.generator import (
+    _build_cold_region,
+    _build_hot_pool,
+    _build_shared_pool,
+    _build_tree,
+    _new_function,
+)
+
+_EASY_TAKEN = 0.008
+
+#: Seed salt for the per-request-type DAG construction.
+_GRAPH_SALT = 0x600D
+#: Entry service index (the "frontend" of every request graph).
+ENTRY_SERVICE = 0
+
+
+@dataclass
+class ServiceSpec:
+    """One microservice: a code footprint of endpoint routines."""
+
+    name: str
+    #: Number of distinct RPC endpoints the service exposes.
+    n_endpoints: int
+    #: Target static code size per endpoint routine tree, in KB.
+    endpoint_kb: float
+    #: Fraction of endpoint call sites into the shared RPC runtime.
+    shared_frac: float = 0.3
+
+
+@dataclass
+class MicroserviceParams(AppParams):
+    """Parameter set for one request-graph workload.
+
+    Inherits the monolithic generator knobs (function sizes, branch
+    noise, divergence fractions, cold-code fraction...); ``stages`` is
+    unused and stays empty — dispatch happens at the single "rpc"
+    stage.  ``shared_pool_kb`` sizes the RPC marshal/transport library
+    and ``hot_pool_kb`` the RPC hot pool.
+    """
+
+    services: List[ServiceSpec] = field(default_factory=list)
+    #: Max outgoing RPC edges per DAG node.
+    fanout_max: int = 3
+    #: Max RPC chain depth (root = depth 0).
+    max_depth: int = 4
+    #: Probability that a candidate downstream edge is taken while
+    #: growing a node's fan-out.
+    edge_prob: float = 0.6
+    #: Open-loop arrival process / SLO definition for traces.
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+
+    def total_routine_kb(self) -> float:
+        return sum(s.n_endpoints * s.endpoint_kb for s in self.services)
+
+
+@dataclass
+class RequestGraph:
+    """The RPC fan-out DAG of one request type.
+
+    ``nodes[k]`` is ``(service_index, endpoint_index)``; ``children[k]``
+    lists child node ids.  Node 0 is the root (entry service); edges
+    always point to nodes whose service index is strictly larger, so
+    the graph is acyclic by construction.
+    """
+
+    nodes: List[Tuple[int, int]]
+    children: List[List[int]]
+
+    def depth(self) -> int:
+        """Longest root-to-leaf chain length in edges."""
+        def walk(k: int) -> int:
+            kids = self.children[k]
+            return 1 + max(map(walk, kids)) if kids else 0
+        return walk(0)
+
+    def max_fanout(self) -> int:
+        return max(len(kids) for kids in self.children)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def request_graphs(params: MicroserviceParams) -> List[RequestGraph]:
+    """The seeded RPC DAG per request type (same seed, same graphs).
+
+    Exposed separately from binary generation so tests and reports can
+    inspect the graph family without building code.
+    """
+    n_services = len(params.services)
+    if n_services < 2:
+        raise ValueError("a microservice workload needs >= 2 services")
+    graphs: List[RequestGraph] = []
+    for rt in range(params.n_request_types):
+        rng = random.Random(params.seed ^ _GRAPH_SALT ^ (rt * 7919))
+        nodes: List[Tuple[int, int]] = []
+        children: List[List[int]] = []
+
+        def grow(service: int, depth: int) -> int:
+            endpoint = rng.randrange(params.services[service].n_endpoints)
+            node = len(nodes)
+            nodes.append((service, endpoint))
+            children.append([])
+            if depth >= params.max_depth:
+                return node
+            downstream = list(range(service + 1, n_services))
+            rng.shuffle(downstream)
+            for callee in downstream[: params.fanout_max]:
+                if len(children[node]) >= params.fanout_max:
+                    break
+                if rng.random() < params.edge_prob:
+                    children[node].append(grow(callee, depth + 1))
+            return node
+
+        grow(ENTRY_SERVICE, 0)
+        graphs.append(RequestGraph(nodes, children))
+    return graphs
+
+
+# ----------------------------------------------------------------------
+# Binary construction
+# ----------------------------------------------------------------------
+def _build_service_lib(binary, rng, params, svc_index: int,
+                       shared: List[str], hot: List[str]) -> List[str]:
+    """A service's private helper library (its distinct footprint)."""
+    # Reuse the shared-pool builder's shape at a smaller budget by
+    # renaming its output: build fresh functions under the service
+    # prefix so footprints never alias across services.
+    names: List[str] = []
+    budget = int(params.services[svc_index].endpoint_kb * 1024 * 0.5)
+    i = 0
+    while budget > 0:
+        size = max(64, int(rng.lognormvariate(0, 0.5)
+                           * params.avg_func_bytes))
+        name = f"svc{svc_index}_lib{i}"
+        callees: List[Tuple[str, bool]] = []
+        if names and rng.random() < 0.5:
+            callees.append((rng.choice(names[-12:]), False))
+        elif shared and rng.random() < 0.4:
+            callees.append((rng.choice(shared), False))
+        elif hot:
+            callees.append((rng.choice(hot), False))
+        _new_function(binary, rng, params, name, size, callees,
+                      loop=rng.random() < 0.2)
+        names.append(name)
+        budget -= size
+        i += 1
+    return names
+
+
+def generate_microservice_binary(
+    params: MicroserviceParams,
+) -> Tuple[Binary, Dict[str, str], List[Dict[str, str]], List[RequestGraph]]:
+    """Generate the system binary.
+
+    Returns ``(binary, dispatchers, route_map, graphs)``: one dispatcher
+    for the single "rpc" stage, and per request type the route to its
+    root RPC wrapper.
+    """
+    graphs = request_graphs(params)
+    rng = random.Random(params.seed)
+    binary = Binary(entry="main")
+    # Shared RPC runtime: hot pool + marshal/transport library.
+    hot = _build_hot_pool(binary, rng, params)
+    shared = _build_shared_pool(binary, rng, params, hot)
+
+    # Per-service code: private library, then endpoint routine trees.
+    endpoint_roots: List[List[str]] = []
+    for si, svc in enumerate(params.services):
+        lib = _build_service_lib(binary, rng, params, si, shared, hot)
+        # Endpoints call into the service library plus the RPC runtime.
+        local_pool = lib + shared
+        roots = [
+            _build_tree(
+                binary, rng, params, f"svc{si}_ep{ei}",
+                int(svc.endpoint_kb * 1024), local_pool, hot,
+                svc.shared_frac,
+            )
+            for ei in range(svc.n_endpoints)
+        ]
+        endpoint_roots.append(roots)
+
+    # RPC wrappers: one thin function per DAG node, deepest-first so
+    # callees exist before callers.  Each wrapper marshals the request,
+    # runs the endpoint, fans out to child wrappers, then replies.
+    root_wrappers: List[str] = []
+    for rt, graph in enumerate(graphs):
+        names = [f"rpc_t{rt}n{k}" for k in range(len(graph))]
+        for k in range(len(graph) - 1, -1, -1):
+            service, endpoint = graph.nodes[k]
+            callees: List[Tuple[str, bool]] = [
+                (rng.choice(shared), False),            # marshal in
+                (endpoint_roots[service][endpoint], False),
+            ]
+            for child in graph.children[k]:
+                callees.append((names[child], False))   # RPC fan-out
+            callees.append((rng.choice(shared), False))  # reply out
+            _new_function(binary, rng, params, names[k],
+                          rng.randint(160, 360), callees)
+        root_wrappers.append(names[0])
+
+    # The "rpc" stage dispatcher: an indirect call selecting the
+    # request type's root wrapper (same shape as the monolithic stage
+    # dispatchers, so TraceBuilder's selector path drives it).
+    dispatcher = "rpc_dispatch"
+    binary.add_function(Function(dispatcher, [
+        BlockSpec(ninstr=rng.randint(4, 8), kind=BranchKind.COND,
+                  taken_prob=_EASY_TAKEN, taken_next=1),
+        BlockSpec(ninstr=rng.randint(2, 4), kind=BranchKind.ICALL,
+                  targets=tuple(root_wrappers), selector="rpc"),
+        BlockSpec(ninstr=rng.randint(1, 3), kind=BranchKind.RET),
+    ]))
+    dispatchers = {"rpc": dispatcher}
+
+    # Request loop.
+    binary.add_function(Function("main", [
+        BlockSpec(ninstr=6, kind=BranchKind.COND, taken_prob=_EASY_TAKEN,
+                  taken_next=1),
+        BlockSpec(ninstr=3, kind=BranchKind.CALL, callee=dispatcher),
+        BlockSpec(ninstr=2, kind=BranchKind.JUMP, taken_next=0),
+    ]))
+
+    live_funcs = len(binary)
+    _build_cold_region(
+        binary, rng, params, shared,
+        n_funcs=int(live_funcs * params.cold_func_frac),
+    )
+    binary.layout()
+    route_map = [{"rpc": root} for root in root_wrappers]
+    return binary, dispatchers, route_map, graphs
+
+
+def build_microservice_app(params: MicroserviceParams) -> Application:
+    """Generate, link and load a complete microservice system."""
+    binary, dispatchers, route_map, _ = generate_microservice_binary(params)
+    Linker(params.bundle_threshold).link(binary)
+    program = LoadedProgram(binary)
+    weights = zipf_weights(params.n_request_types, params.zipf_alpha)
+    return Application(
+        params=params,
+        binary=binary,
+        program=program,
+        dispatchers=dispatchers,
+        route_map=route_map,
+        stage_names=["rpc"],
+        request_weights=weights,
+        arrival=params.arrival,
+    )
+
+
+# ----------------------------------------------------------------------
+# The named workload family
+# ----------------------------------------------------------------------
+def _social(name: str, seed: int) -> MicroserviceParams:
+    """DeathStarBench-style social network: wide fan-out at the
+    frontend, mid-size per-service footprints, strong tenant skew."""
+    return MicroserviceParams(
+        name=name, seed=seed, stages=[],
+        services=[
+            ServiceSpec("edge", 3, 16.0),
+            ServiceSpec("compose", 3, 20.0),
+            ServiceSpec("timeline", 2, 22.0),
+            ServiceSpec("graph", 2, 18.0),
+            ServiceSpec("text", 2, 14.0),
+            ServiceSpec("storage", 3, 20.0),
+        ],
+        fanout_max=3, max_depth=4, edge_prob=0.6,
+        n_request_types=6, zipf_alpha=1.0,
+        shared_pool_kb=120.0, hot_pool_kb=18.0,
+        bundle_threshold=36 * 1024, base_requests=26,
+        arrival=ArrivalSpec(utilization=0.65, burst_repeat_prob=0.6,
+                            slo_factor=6.0),
+    )
+
+
+def _media(name: str, seed: int) -> MicroserviceParams:
+    """Media pipeline: deep, narrow chains (review -> rating -> ...)."""
+    return MicroserviceParams(
+        name=name, seed=seed, stages=[],
+        services=[
+            ServiceSpec("gateway", 2, 14.0),
+            ServiceSpec("review", 3, 22.0),
+            ServiceSpec("rating", 2, 16.0),
+            ServiceSpec("media", 2, 24.0),
+            ServiceSpec("meta", 2, 18.0),
+        ],
+        fanout_max=2, max_depth=5, edge_prob=0.7,
+        n_request_types=5, zipf_alpha=0.8,
+        shared_pool_kb=110.0, hot_pool_kb=16.0,
+        bundle_threshold=32 * 1024, base_requests=26,
+        arrival=ArrivalSpec(utilization=0.6, burst_repeat_prob=0.55,
+                            idle_gap_scale=2.4, slo_factor=6.5),
+    )
+
+
+def _hotel(name: str, seed: int) -> MicroserviceParams:
+    """Hotel-reservation style search/recommend: shallow wide fan-out,
+    few request types hammered hard (high Zipf, long bursts)."""
+    return MicroserviceParams(
+        name=name, seed=seed, stages=[],
+        services=[
+            ServiceSpec("frontend", 2, 16.0),
+            ServiceSpec("search", 3, 24.0),
+            ServiceSpec("geo", 2, 14.0),
+            ServiceSpec("rate", 2, 16.0),
+            ServiceSpec("profile", 2, 20.0),
+            ServiceSpec("reserve", 2, 18.0),
+        ],
+        fanout_max=3, max_depth=3, edge_prob=0.65,
+        n_request_types=4, zipf_alpha=1.2,
+        shared_pool_kb=100.0, hot_pool_kb=16.0,
+        bundle_threshold=30 * 1024, base_requests=28,
+        arrival=ArrivalSpec(utilization=0.7, burst_repeat_prob=0.7,
+                            burst_len=8.0, slo_factor=5.5),
+    )
+
+
+def _ecommerce(name: str, seed: int) -> MicroserviceParams:
+    """E-commerce storefront: many services and request shapes, mixed
+    tenancy with moderate skew — the largest combined footprint."""
+    return MicroserviceParams(
+        name=name, seed=seed, stages=[],
+        services=[
+            ServiceSpec("edge", 2, 14.0),
+            ServiceSpec("catalog", 3, 22.0),
+            ServiceSpec("cart", 2, 16.0),
+            ServiceSpec("pricing", 2, 14.0),
+            ServiceSpec("inventory", 2, 18.0),
+            ServiceSpec("payment", 2, 20.0),
+            ServiceSpec("shipping", 2, 16.0),
+        ],
+        fanout_max=3, max_depth=4, edge_prob=0.55,
+        n_request_types=7, zipf_alpha=0.9,
+        shared_pool_kb=130.0, hot_pool_kb=20.0,
+        bundle_threshold=38 * 1024, base_requests=24,
+        arrival=ArrivalSpec(utilization=0.65, burst_repeat_prob=0.5,
+                            slo_factor=7.0),
+    )
+
+
+def _family() -> Dict[str, MicroserviceParams]:
+    return {
+        "msvc_social": _social("msvc_social", 201),
+        "msvc_media": _media("msvc_media", 202),
+        "msvc_hotel": _hotel("msvc_hotel", 203),
+        "msvc_ecommerce": _ecommerce("msvc_ecommerce", 204),
+    }
+
+
+_MPARAMS = _family()
+
+#: The microservice request-graph workloads, in reporting order.
+MICROSERVICE_NAMES = tuple(_MPARAMS)
+
+
+def microservice_params(name: str) -> MicroserviceParams:
+    """Parameter set for microservice workload ``name``."""
+    try:
+        return _MPARAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown microservice workload {name!r}; expected one of "
+            f"{MICROSERVICE_NAMES}"
+        ) from None

@@ -19,7 +19,9 @@ import numpy as np
 from repro.workloads.trace import Trace
 
 #: Format version written into every file; bumped on layout changes.
-FORMAT_VERSION = 1
+#: v2 adds the optional open-loop arrival process (``request_gaps`` +
+#: ``slo_instr``); v1 files still load (they predate arrivals).
+FORMAT_VERSION = 2
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
@@ -36,8 +38,7 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
                ("rtype", "i4")],
     )
     requests = np.array(trace.requests, dtype="i8").reshape(-1, 2)
-    np.savez_compressed(
-        path,
+    arrays = dict(
         meta=json.dumps(meta),
         pc=np.array(trace.pc, dtype="i8"),
         ninstr=np.array(trace.ninstr, dtype="i4"),
@@ -48,6 +49,11 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
         requests=requests,
         stage_spans=spans,
     )
+    if trace.request_gaps is not None:
+        meta["slo_instr"] = trace.slo_instr
+        arrays["meta"] = json.dumps(meta)
+        arrays["request_gaps"] = np.array(trace.request_gaps, dtype="f8")
+    np.savez_compressed(path, **arrays)
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
@@ -56,10 +62,10 @@ def load_trace(path: Union[str, Path]) -> Trace:
     with np.load(path, allow_pickle=False) as data:
         meta = json.loads(str(data["meta"]))
         version = meta.get("version")
-        if version != FORMAT_VERSION:
+        if version not in (1, FORMAT_VERSION):
             raise ValueError(
                 f"{path}: unsupported trace format version {version!r} "
-                f"(expected {FORMAT_VERSION})"
+                f"(expected <= {FORMAT_VERSION})"
             )
         trace = Trace()
         trace.pc = data["pc"].tolist()
@@ -75,6 +81,9 @@ def load_trace(path: Union[str, Path]) -> Trace:
             for r in data["stage_spans"]
         ]
         trace.n_instructions = int(meta["n_instructions"])
+        if "request_gaps" in data.files:
+            trace.request_gaps = data["request_gaps"].tolist()
+            trace.slo_instr = float(meta["slo_instr"])
     lengths = {
         len(trace.pc), len(trace.ninstr), len(trace.kind),
         len(trace.taken), len(trace.target), len(trace.tagged),

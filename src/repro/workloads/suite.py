@@ -14,6 +14,11 @@ from typing import Dict
 
 from repro.workloads.appmodel import Application, AppParams, StageSpec
 from repro.workloads.generator import build_app
+from repro.workloads.microservices import (
+    MICROSERVICE_NAMES,
+    build_microservice_app,
+    microservice_params,
+)
 
 #: Trace length factors; "full" targets ~1M instructions per workload.
 SCALES: Dict[str, float] = {"tiny": 0.15, "bench": 0.6, "full": 1.0}
@@ -118,19 +123,32 @@ _PARAMS = _suite()
 #: The paper's 11 workloads, in reporting order.
 WORKLOAD_NAMES = tuple(_PARAMS)
 
+#: Every named workload: the paper's 11 plus the microservice
+#: request-graph family (docs/MICROSERVICES.md).
+ALL_WORKLOAD_NAMES = WORKLOAD_NAMES + MICROSERVICE_NAMES
+
+
+def is_microservice(name: str) -> bool:
+    """True when ``name`` is a microservice request-graph workload."""
+    return name in MICROSERVICE_NAMES
+
 
 def workload_params(name: str) -> AppParams:
     """Parameter set for workload ``name`` (KeyError lists valid names)."""
+    if name in MICROSERVICE_NAMES:
+        return microservice_params(name)
     try:
         return _PARAMS[name]
     except KeyError:
         raise KeyError(
-            f"unknown workload {name!r}; expected one of {WORKLOAD_NAMES}"
+            f"unknown workload {name!r}; expected one of {ALL_WORKLOAD_NAMES}"
         ) from None
 
 
 def build_application(name: str) -> Application:
     """Generate + link + load the named workload's application."""
+    if name in MICROSERVICE_NAMES:
+        return build_microservice_app(microservice_params(name))
     return build_app(workload_params(name))
 
 

@@ -56,6 +56,14 @@ class Trace:
         self.requests: List[Tuple[int, int]] = []
         #: (start index, end index exclusive, stage name, request type).
         self.stage_spans: List[Tuple[int, int, str, int]] = []
+        #: Open-loop inter-arrival gaps in *ideal-instruction* units, one
+        #: per request (``request_gaps[k]`` separates request ``k-1``
+        #: from ``k``; index 0 is 0.0).  ``None`` for closed-loop
+        #: workloads — presence of this field is what auto-enables the
+        #: simulator's per-request latency tracker.
+        self.request_gaps: Optional[List[float]] = None
+        #: SLO latency threshold in ideal-instruction units.
+        self.slo_instr: Optional[float] = None
         self.n_instructions = 0
         self._block0: Optional[List[int]] = None
         self._block1: Optional[List[int]] = None
@@ -183,6 +191,7 @@ class TraceBuilder:
         # the paper's 100M-instruction warmup.
         n_types = len(weights)
         preheat = n_types if n_requests > 2 * n_types else 0
+        arrival = app.arrival
         request_type = 0 if preheat else self._draw_type(rng, cum)
         requests_done = 0
         switch_counts: dict = {}
@@ -299,6 +308,11 @@ class TraceBuilder:
                         break
                     if requests_done < preheat:
                         request_type = requests_done % n_types
+                    elif (arrival is not None
+                          and rand() < arrival.burst_repeat_prob):
+                        # Mixed tenancy burst: the next request repeats
+                        # the previous type (request_type unchanged).
+                        pass
                     else:
                         request_type = self._draw_type(rng, cum)
                     trace.requests.append((len(pc_a), request_type))
@@ -316,7 +330,39 @@ class TraceBuilder:
             else:
                 raise ValueError(f"unhandled kind {kind}")
         trace.n_instructions = n_instr
+        if arrival is not None:
+            self._attach_arrivals(trace, arrival)
         return trace
+
+    def _attach_arrivals(self, trace: Trace, arrival) -> None:
+        """Generate the bursty open-loop arrival process for the trace.
+
+        Gaps live on the ideal-instruction clock and are drawn from a
+        dedicated RNG stream (independent of branch outcomes), then
+        rescaled so the mean inter-arrival gap is exactly
+        ``mean_request_instructions / utilization`` — the same offered
+        load for every prefetcher simulating this trace.
+        """
+        n = len(trace.requests)
+        mean_service = trace.n_instructions / n
+        trace.slo_instr = arrival.slo_factor * mean_service
+        if n == 1:
+            trace.request_gaps = [0.0]
+            return
+        gap_rng = random.Random(self.seed ^ 0x6A95)
+        raw: List[float] = []
+        in_burst = True
+        for _ in range(n - 1):
+            scale = (arrival.burst_gap_scale if in_burst
+                     else arrival.idle_gap_scale)
+            raw.append(scale * gap_rng.expovariate(1.0))
+            if in_burst:
+                in_burst = gap_rng.random() >= 1.0 / arrival.burst_len
+            else:
+                in_burst = True
+        target_mean = mean_service / arrival.utilization
+        norm = target_mean * (n - 1) / sum(raw)
+        trace.request_gaps = [0.0] + [g * norm for g in raw]
 
     @staticmethod
     def _draw_type(rng: random.Random, cum: List[float]) -> int:

@@ -134,3 +134,44 @@ class TestSweepDeterminism:
 
         results = sweep(self._points(), jobs=2, progress=None)
         assert [r.point for r in results] == self._points()
+
+
+class TestMicroserviceSweepDeterminism:
+    """Golden matrix over the microservice request-graph family: the
+    per-request SLO metrics (request.* / probe.request_* in
+    SimStats.extra) must be bit-identical between a serial sweep and a
+    parallel one — the tracker's timelines ride the same pickle
+    transport as every other counter."""
+
+    POINTS = None  # built lazily: 2 msvc workloads x 2 HP variants
+
+    @classmethod
+    def _points(cls):
+        from repro.experiments.sweep import grid
+
+        if cls.POINTS is None:
+            cls.POINTS = grid(
+                ("msvc_social", "msvc_hotel"),
+                ("hierarchical", "hp_compressed"),
+                include_baseline=False, scale="tiny",
+            )
+        return cls.POINTS
+
+    def test_parallel_matches_serial_with_slo_metrics(self):
+        from repro.experiments.runner import clear_run_cache
+        from repro.experiments.sweep import sweep
+
+        clear_run_cache()
+        serial = sweep(self._points(), jobs=1, use_cache=False,
+                       progress=None)
+        parallel = sweep(self._points(), jobs=2, use_cache=False,
+                         progress=None)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert s.point == p.point
+            assert s.stats.has_request_latency, s.point.label
+            assert s.stats.state_dict() == p.stats.state_dict(), \
+                s.point.label
+            assert (s.stats.extra["probe.request_latency"]
+                    == p.stats.extra["probe.request_latency"]), \
+                s.point.label

@@ -35,7 +35,7 @@ class TestRegistry:
     def test_names(self):
         assert set(PREFETCHER_NAMES) == {
             "fdip", "efetch", "mana", "eip", "hierarchical", "rdip",
-            "pif",
+            "pif", "hp_compressed",
         }
 
     def test_fdip_returns_none(self):
