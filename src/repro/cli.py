@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.analysis.metrics import compare_run
 from repro.analysis.reporting import format_table
 from repro.cpu import DEFAULT_WARMUP, MachineConfig, simulate
+from repro.memory.policies import POLICY_DESCRIPTIONS, POLICY_NAMES
 from repro.prefetchers import PREFETCHER_NAMES, make_prefetcher
 from repro.workloads.suite import (
     ALL_WORKLOAD_NAMES,
@@ -52,12 +53,24 @@ def _get_trace(args):
     return get_trace(args.workload, scale=args.scale, seed=args.seed)
 
 
-def cmd_list(_args) -> int:
+def _print_policies() -> None:
+    print("replacement policies (cache + I-TLB; --policy axis of "
+          "repro sweep, docs/POLICIES.md):")
+    print(format_table(
+        ["policy", "description"],
+        [[name, POLICY_DESCRIPTIONS[name]] for name in POLICY_NAMES],
+    ))
+
+
+def cmd_list(args) -> int:
     from repro.workloads.microservices import (
         MICROSERVICE_NAMES,
         request_graphs,
     )
 
+    if args.policies:
+        _print_policies()
+        return 0
     rows = []
     for name in WORKLOAD_NAMES:
         params = workload_params(name)
@@ -89,6 +102,8 @@ def cmd_list(_args) -> int:
         rows,
     ))
     print(f"\nprefetchers: {', '.join(PREFETCHER_NAMES)}")
+    print()
+    _print_policies()
     return 0
 
 
@@ -153,8 +168,19 @@ def cmd_sweep(args) -> int:
     if unknown:
         print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    points = grid(workloads, args.prefetchers, scale=args.scale,
-                  seed=args.seed, warmup=args.warmup)
+    if args.policy:
+        from repro.experiments.policies import policy_overrides
+
+        points = []
+        for pol in args.policy:
+            points += grid(
+                workloads, args.prefetchers, scale=args.scale,
+                seed=args.seed, warmup=args.warmup,
+                overrides=policy_overrides(pol, args.itlb_prefetch),
+            )
+    else:
+        points = grid(workloads, args.prefetchers, scale=args.scale,
+                      seed=args.seed, warmup=args.warmup)
     before = runner.run_cache_stats()
     start = time.perf_counter()
     try:
@@ -170,18 +196,29 @@ def cmd_sweep(args) -> int:
         return 1
     elapsed = time.perf_counter() - start
     results = report.results
-    baselines = {r.point.workload: r.stats for r in results
-                 if r.point.prefetcher is None}
+
+    def _policy_of(point):
+        return (point.overrides or {}).get("hierarchy.policy", "lru")
+
+    # FDIP baselines are per (workload, policy): a policy reshapes the
+    # baseline substrate too, so speedups must compare like with like.
+    baselines = {(r.point.workload, _policy_of(r.point)): r.stats
+                 for r in results if r.point.prefetcher is None}
+    with_policy = bool(args.policy)
     # Request-latency columns appear when any swept workload carries
     # per-request SLO accounting (the microservice family).
     with_slo = any(r.stats.has_request_latency for r in results)
     rows = []
     for r in results:
-        base = baselines.get(r.point.workload)
+        base = baselines.get((r.point.workload, _policy_of(r.point)))
         speedup = ("-" if r.point.prefetcher is None or base is None
                    else f"{r.stats.ipc / base.ipc - 1:+.1%}")
         row = [
             r.point.workload, r.point.prefetcher or "fdip",
+        ]
+        if with_policy:
+            row.append(_policy_of(r.point))
+        row += [
             f"{r.stats.ipc:.3f}", f"{r.stats.l1i_mpki:.2f}", speedup,
         ]
         if with_slo:
@@ -197,7 +234,10 @@ def cmd_sweep(args) -> int:
                 row += ["-", "-", "-", "-"]
         row += [r.source, f"{r.seconds:.2f}"]
         rows.append(row)
-    header = ["workload", "prefetcher", "ipc", "l1i_mpki", "speedup"]
+    header = ["workload", "prefetcher"]
+    if with_policy:
+        header.append("policy")
+    header += ["ipc", "l1i_mpki", "speedup"]
     if with_slo:
         header += ["p50", "p95", "p99", "slo"]
     header += ["source", "secs"]
@@ -229,7 +269,15 @@ def cmd_probe(args) -> int:
     trace = _get_trace(args)
     pf = (make_prefetcher(args.prefetcher)
           if args.prefetcher not in ("fdip", "none") else None)
-    stats = simulate(trace, prefetcher=pf, warmup_fraction=args.warmup,
+    config = None
+    if args.policy != "lru" or args.itlb_prefetch:
+        from repro.experiments.policies import policy_overrides
+
+        config = MachineConfig().replace(
+            **policy_overrides(args.policy, args.itlb_prefetch)
+        )
+    stats = simulate(trace, config=config, prefetcher=pf,
+                     warmup_fraction=args.warmup,
                      probe_interval=args.interval)
     instructions = stats.extra.get("probe.instructions", ())
     if not instructions:
@@ -243,6 +291,7 @@ def cmd_probe(args) -> int:
         payload = {
             "workload": args.workload,
             "prefetcher": args.prefetcher,
+            "policy": args.policy,
             "interval": args.interval,
             "instructions": list(instructions),
             "cycles": list(stats.extra["probe.cycles"]),
@@ -277,6 +326,11 @@ def cmd_probe(args) -> int:
     ))
     print(f"\nwhole window: IPC {stats.ipc:.3f}, "
           f"L1-I MPKI {stats.l1i_mpki:.2f}")
+    if args.itlb_prefetch:
+        print(f"I-TLB prefetch: {stats.itlb_misses} demand walks "
+              f"(MPKI {stats.itlb_mpki:.3f}), {stats.itlb_pf_probes} "
+              f"probes, {stats.itlb_pf_installs} installs, "
+              f"{stats.itlb_pf_hits} covered by prefetch")
     if stats.has_request_latency:
         extra = stats.extra
         print(f"\nper-request latency ({int(extra['request.count'])} "
@@ -423,7 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads and prefetchers")
+    ls = sub.add_parser("list",
+                        help="list workloads, prefetchers and policies")
+    ls.add_argument("--policies", action="store_true",
+                    help="show only the replacement-policy table")
 
     run = sub.add_parser("run", help="simulate one prefetcher")
     run.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
@@ -468,6 +525,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="on unrecoverable point failures, keep "
                          "sweeping and report partial results "
                          "(exit 1 if any point failed)")
+    sw.add_argument("--policy", nargs="+", choices=POLICY_NAMES,
+                    metavar="POLICY",
+                    help="replacement policies to cross with the "
+                         f"prefetchers (choices: {', '.join(POLICY_NAMES)}; "
+                         "default: lru only, no policy column)")
+    sw.add_argument("--itlb-prefetch", action="store_true",
+                    help="enable the I-TLB prefetch path on every "
+                         "--policy point")
     _add_scale(sw)
 
     probe = sub.add_parser(
@@ -483,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 20000)")
     probe.add_argument("--json", action="store_true",
                        help="emit the timelines as JSON")
+    probe.add_argument("--policy", default="lru", choices=POLICY_NAMES,
+                       help="replacement policy for caches + I-TLB "
+                            "(default: lru)")
+    probe.add_argument("--itlb-prefetch", action="store_true",
+                       help="enable the I-TLB prefetch path")
     _add_scale(probe)
 
     bench = sub.add_parser(

@@ -271,10 +271,15 @@ class HierarchicalPrefetcher(InstructionPrefetcher):
             view.index * _LINES_PER_SEGMENT, _LINES_PER_SEGMENT, now
         )
         fifo = self._fifo
-        itlb = self.sim.itlb
+        # §5.3.5: region base addresses are dispatched to the TLB.  With
+        # the I-TLB prefetch path on, the dispatch is a non-stalling
+        # prefetch probe (installed translations don't count as demand
+        # misses); otherwise the historical demand translate.
+        xlate = self._itlb_pf
+        if xlate is None:
+            xlate = self.sim.itlb.translate
         for region in view.regions:
-            # §5.3.5: region base addresses are dispatched to the TLB.
-            walk = itlb.translate((region.base << 6) >> 12)
+            walk = xlate((region.base << 6) >> 12)
             ready = now + read_latency + walk
             for block in region.blocks():
                 fifo.append((block, ready))

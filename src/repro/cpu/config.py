@@ -39,6 +39,13 @@ class CoreConfig:
     fetch_slack: float = 26.0
     itlb_entries: int = 128
     itlb_walk_latency: int = 40
+    #: Replacement policy for the I-TLB (see repro.memory.policies).
+    itlb_policy: str = "lru"
+    #: When True, FDIP runahead / HP replay / baseline-prefetcher
+    #: addresses also probe the I-TLB at page granularity, installing
+    #: missing translations without stalling (off by default so the
+    #: seed golden matrix stays bit-identical).
+    itlb_prefetch: bool = False
 
 
 @dataclass

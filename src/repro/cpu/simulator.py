@@ -69,6 +69,7 @@ class FrontEndSimulator(SimComponent):
             InstructionTLB(
                 self.config.core.itlb_entries,
                 self.config.core.itlb_walk_latency,
+                policy=self.config.core.itlb_policy,
             ),
         )
         self.prefetcher = prefetcher
@@ -97,6 +98,9 @@ class FrontEndSimulator(SimComponent):
         self._cycle0 = 0.0
         self._itlb_acc0 = 0
         self._itlb_miss0 = 0
+        self._itlb_pfp0 = 0
+        self._itlb_pfi0 = 0
+        self._itlb_pfh0 = 0
 
     # ------------------------------------------------------------------
     # Run lifecycle
@@ -195,7 +199,8 @@ class FrontEndSimulator(SimComponent):
         # snapshot is loaded, so checkpoints deliberately exclude it.
         self._ran = True  # lint: ephemeral
         self.trace = trace
-        self.frontend.bind(trace, self.hierarchy)
+        self.frontend.bind(trace, self.hierarchy, self.itlb,
+                           self.config.core.itlb_prefetch)
         if self.prefetcher is not None:
             self.prefetcher.attach(self, trace)
 
@@ -207,6 +212,9 @@ class FrontEndSimulator(SimComponent):
         self._cycle0 = self.now
         self._itlb_acc0 = self.itlb.accesses
         self._itlb_miss0 = self.itlb.misses
+        self._itlb_pfp0 = self.itlb.pf_probes
+        self._itlb_pfi0 = self.itlb.pf_installs
+        self._itlb_pfh0 = self.itlb.pf_hits
         self._last_block = -1
         self._last_page = -1
         self._measuring = True
@@ -230,6 +238,9 @@ class FrontEndSimulator(SimComponent):
         stats.cycles = self.now - self._cycle0
         stats.itlb_accesses = self.itlb.accesses - self._itlb_acc0
         stats.itlb_misses = self.itlb.misses - self._itlb_miss0
+        stats.itlb_pf_probes = self.itlb.pf_probes - self._itlb_pfp0
+        stats.itlb_pf_installs = self.itlb.pf_installs - self._itlb_pfi0
+        stats.itlb_pf_hits = self.itlb.pf_hits - self._itlb_pfh0
         self._measuring = False
         if self.prefetcher is not None:
             self.prefetcher.on_measurement_end()
@@ -347,7 +358,7 @@ class FrontEndSimulator(SimComponent):
     # ------------------------------------------------------------------
     _STATE_FIELDS = ("now", "next_index", "last_block", "last_page",
                      "measuring", "cycle0", "itlb_acc0", "itlb_miss0",
-                     "components")
+                     "itlb_pfp0", "itlb_pfi0", "itlb_pfh0", "components")
 
     def reset(self) -> None:
         """Return the whole machine to power-on state for another run."""
@@ -363,6 +374,9 @@ class FrontEndSimulator(SimComponent):
         self._cycle0 = 0.0
         self._itlb_acc0 = 0
         self._itlb_miss0 = 0
+        self._itlb_pfp0 = 0
+        self._itlb_pfi0 = 0
+        self._itlb_pfh0 = 0
         self.probes.begin()
         self.reqtrack.reset()
 
@@ -382,6 +396,9 @@ class FrontEndSimulator(SimComponent):
             "cycle0": self._cycle0,
             "itlb_acc0": self._itlb_acc0,
             "itlb_miss0": self._itlb_miss0,
+            "itlb_pfp0": self._itlb_pfp0,
+            "itlb_pfi0": self._itlb_pfi0,
+            "itlb_pfh0": self._itlb_pfh0,
             "components": self.components.state_dict(),
         }
 
@@ -396,6 +413,9 @@ class FrontEndSimulator(SimComponent):
         self._cycle0 = state["cycle0"]
         self._itlb_acc0 = state["itlb_acc0"]
         self._itlb_miss0 = state["itlb_miss0"]
+        self._itlb_pfp0 = state["itlb_pfp0"]
+        self._itlb_pfi0 = state["itlb_pfi0"]
+        self._itlb_pfh0 = state["itlb_pfh0"]
         self.commit_index = max(0, self._next_index - 1)
 
     def stats_snapshot(self) -> Dict[str, float]:

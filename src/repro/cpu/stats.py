@@ -55,6 +55,12 @@ class SimStats(SimComponent):
         # L1-I demand stream
         self.demand_accesses = 0
         self.l1i_hits = 0
+        #: Split of ``l1i_hits`` by the resident line's fill origin
+        #: (demand-fetched vs prefetcher-brought) — the attribution the
+        #: replacement-policy study keys on.  ``l1i_hits`` stays the
+        #: aggregate for back-compat.
+        self.l1i_demand_hits = 0
+        self.l1i_prefetch_hits = 0
         self.l1i_misses = 0
         self.l2_demand_misses = 0  # demand fetches served beyond the L2
         self.served_by = _per_level()
@@ -66,6 +72,9 @@ class SimStats(SimComponent):
         self.pf_redundant = _per_origin()
         self.pf_dropped = _per_origin()
         self.pf_late = _per_origin()      # demand hit while still in flight
+        #: L1-I evictions of prefetched lines never touched by a demand
+        #: fetch (sum over origins of the prefetch part of pf_useless).
+        self.unused_prefetch_evictions = 0
         self.covered = _per_origin()      # L1-I demand hit on a prefetched block
         self.covered_l2 = _per_origin()   # demand L1 miss that hit a prefetched L2 block
         self.distance_sum = _per_origin()  # committed-block distance trigger->use
@@ -82,6 +91,10 @@ class SimStats(SimComponent):
         # I-TLB
         self.itlb_accesses = 0
         self.itlb_misses = 0
+        # I-TLB prefetch path (core.itlb_prefetch); all zero when off.
+        self.itlb_pf_probes = 0
+        self.itlb_pf_installs = 0
+        self.itlb_pf_hits = 0
         # Free-form per-prefetcher extras (bundle stats, table hit rates…)
         self.extra: Dict[str, float] = {}
 
@@ -103,6 +116,18 @@ class SimStats(SimComponent):
         if not self.instructions:
             return 0.0
         return 1000.0 * self.l2_demand_misses / self.instructions
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of L1-I demand hits served by a prefetched line."""
+        return self.l1i_prefetch_hits / self.l1i_hits if self.l1i_hits else 0.0
+
+    @property
+    def itlb_mpki(self) -> float:
+        """I-TLB demand misses per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.itlb_misses / self.instructions
 
     @property
     def dram_bytes(self) -> int:

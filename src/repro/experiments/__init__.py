@@ -30,6 +30,14 @@ from repro.experiments.errors import (
     WorkerCrashError,
 )
 from repro.experiments.faults import Fault, FaultPlan
+from repro.experiments.policies import (
+    POLICY_PREFETCHERS,
+    fig20_policy_grid,
+    fig21_itlb_prefetch,
+    policy_overrides,
+    policy_sweep,
+    tab06_policy_summary,
+)
 from repro.experiments.slo import (
     SLO_PREFETCHERS,
     fig18_slo_grid,
@@ -75,4 +83,10 @@ __all__ = [
     "fig18_slo_grid",
     "tab05_slo_summary",
     "fig19_slo_timeline",
+    "POLICY_PREFETCHERS",
+    "policy_overrides",
+    "policy_sweep",
+    "fig20_policy_grid",
+    "tab06_policy_summary",
+    "fig21_itlb_prefetch",
 ]

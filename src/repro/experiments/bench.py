@@ -15,6 +15,9 @@ Benchmarks
 ``hierarchy``
     The cache/TLB hierarchy driven by a synthetic demand/prefetch
     address stream (no trace, no front end).
+``hierarchy_policy``
+    The same synthetic stream under the ``pf_aware`` replacement
+    policy — the cost of the policy dispatch plus its victim scan.
 ``hp_replay``
     The full Hierarchical Prefetcher record/replay/metadata path.
 ``sweep_cache``
@@ -51,7 +54,8 @@ ARTIFACT_SCHEMA = 1
 BENCH_WORKLOAD = "mysql_sibench"
 BENCH_SEED = 1
 
-BENCHMARK_NAMES = ("hot_loop", "hierarchy", "hp_replay", "sweep_cache")
+BENCHMARK_NAMES = ("hot_loop", "hierarchy", "hierarchy_policy",
+                   "hp_replay", "sweep_cache")
 
 
 # ----------------------------------------------------------------------
@@ -193,14 +197,8 @@ def bench_hp_replay(quick: bool, repeats: int, calibration: float) -> dict:
 # ----------------------------------------------------------------------
 # Synthetic hierarchy benchmark
 # ----------------------------------------------------------------------
-def bench_hierarchy(quick: bool, repeats: int, calibration: float) -> dict:
-    """Drive the cache/TLB hierarchy with a synthetic address stream.
-
-    A deterministic xorshift stream over a working set larger than the
-    L2 mixes sequential runs (L1 hits), region jumps (L2/LLC traffic)
-    and interleaved prefetches — exercising lookup/insert/eviction and
-    the asynchronous fill heap without any front end.
-    """
+def _run_hierarchy_bench(name: str, policy: str, quick: bool,
+                         repeats: int, calibration: float) -> dict:
     from repro.cpu.stats import SimStats
     from repro.memory.cache import ORIGIN_PF
     from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
@@ -210,7 +208,7 @@ def bench_hierarchy(quick: bool, repeats: int, calibration: float) -> dict:
     stats_digest = ""
     for r in range(repeats):
         stats = SimStats()
-        hier = MemoryHierarchy(HierarchyParams(), stats)
+        hier = MemoryHierarchy(HierarchyParams(policy=policy), stats)
         state = 0x9E3779B9
         block = 0
         now = 0.0
@@ -233,11 +231,38 @@ def bench_hierarchy(quick: bool, repeats: int, calibration: float) -> dict:
         seconds.append(time.perf_counter() - t0)
         if r == 0:
             stats_digest = _digest(stats.state_dict())
-    timings = {"accesses": accesses}
+    timings = {"accesses": accesses, "policy": policy}
     meta = {"workload": "synthetic", "scale": "quick" if quick else "bench",
             "seed": 0, "prefetcher": "synthetic"}
-    return _artifact("hierarchy", quick, seconds, accesses, "accesses",
+    return _artifact(name, quick, seconds, accesses, "accesses",
                      timings, stats_digest, meta, calibration)
+
+
+def bench_hierarchy(quick: bool, repeats: int, calibration: float) -> dict:
+    """Drive the cache/TLB hierarchy with a synthetic address stream.
+
+    A deterministic xorshift stream over a working set larger than the
+    L2 mixes sequential runs (L1 hits), region jumps (L2/LLC traffic)
+    and interleaved prefetches — exercising lookup/insert/eviction and
+    the asynchronous fill heap without any front end.  Runs the default
+    ``lru`` policy: its timing fences the policy-refactor dispatch cost
+    against the pre-refactor baseline.
+    """
+    return _run_hierarchy_bench("hierarchy", "lru", quick, repeats,
+                                calibration)
+
+
+def bench_hierarchy_policy(quick: bool, repeats: int,
+                           calibration: float) -> dict:
+    """The synthetic hierarchy stream under the ``pf_aware`` policy.
+
+    Times the most expensive policy hook — distal insertion plus the
+    unused-prefetched-victim scan on every eviction — so a policy
+    implementation that allocates or scans pathologically shows up as a
+    bench regression, not just a lint warning.
+    """
+    return _run_hierarchy_bench("hierarchy_policy", "pf_aware", quick,
+                                repeats, calibration)
 
 
 # ----------------------------------------------------------------------
@@ -294,6 +319,7 @@ def bench_sweep_cache(quick: bool, repeats: int, calibration: float) -> dict:
 _RUNNERS = {
     "hot_loop": bench_hot_loop,
     "hierarchy": bench_hierarchy,
+    "hierarchy_policy": bench_hierarchy_policy,
     "hp_replay": bench_hp_replay,
     "sweep_cache": bench_sweep_cache,
 }

@@ -86,9 +86,17 @@ class FDIPFrontEnd(SimComponent):
         self._n = 0  # lint: ephemeral
         self._ftq = params.ftq_entries  # lint: ephemeral
         self._issue = False  # lint: ephemeral
+        self._page = None  # lint: ephemeral
+        self._tlb_pf = None  # lint: ephemeral
 
-    def bind(self, trace, hierarchy) -> None:
-        """Attach the front end to a trace and the memory hierarchy."""
+    def bind(self, trace, hierarchy, itlb=None,
+             itlb_prefetch: bool = False) -> None:
+        """Attach the front end to a trace and the memory hierarchy.
+
+        With ``itlb_prefetch`` the runahead also probes the I-TLB for
+        each enqueued region's page (non-stalling install; see
+        :meth:`repro.memory.tlb.InstructionTLB.prefetch`).
+        """
         self._pc = trace.pc
         self._nin = trace.ninstr
         self._kind = trace.kind
@@ -97,10 +105,13 @@ class FDIPFrontEnd(SimComponent):
         self._b0 = trace.block0
         self._b1 = trace.block1
         self._term = trace.term
+        self._page = trace.page
         self._n = len(trace)
         self.hierarchy = hierarchy
         self._ftq = self.params.ftq_entries
         self._issue = self.params.issue_prefetches and hierarchy is not None
+        self._tlb_pf = (itlb.prefetch
+                        if itlb_prefetch and itlb is not None else None)
         self._ptr = 0
         self._blocked_at = -1
         self.penalties.clear()
@@ -126,10 +137,12 @@ class FDIPFrontEnd(SimComponent):
             return
         b0_arr = self._b0
         b1_arr = self._b1
+        page_arr = self._page
         kind_arr = self._kind
         issue = self._issue
         hier = self.hierarchy
         prefetch = hier.prefetch if issue else None
+        tlb_pf = self._tlb_pf
         evaluate = self._evaluate
         origin_fdip = ORIGIN_FDIP
         pen_none = PEN_NONE
@@ -142,6 +155,8 @@ class FDIPFrontEnd(SimComponent):
                 prefetch(b0, now, origin_fdip, issue_index=commit_i)
                 if b1 != b0:
                     prefetch(b1, now, origin_fdip, issue_index=commit_i)
+                if tlb_pf is not None:
+                    tlb_pf(page_arr[i], origin_fdip)
             ptr = i + 1
             # Non-branch blocks (the common case) have no terminator to
             # predict and can never stall the runahead.

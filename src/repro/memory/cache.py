@@ -1,10 +1,16 @@
-"""Set-associative LRU cache with per-block fill-origin tracking.
+"""Set-associative cache with per-block fill-origin tracking.
 
 Entries remember who brought the block in (demand, FDIP, or the
 evaluated prefetcher) and whether a demand fetch has touched it since,
 which is what prefetch accuracy/coverage accounting needs: a prefetched
 block evicted untouched is a useless prefetch; the first demand touch of
 a prefetched block is a covered miss.
+
+Insertion/eviction is delegated to a pluggable
+:class:`~repro.memory.policies.ReplacementPolicy` (default LRU,
+bit-identical to the historical hardwired behavior).  The *hit* path is
+policy-independent by design — every policy promotes a hit to MRU — so
+``lookup`` carries no dispatch overhead.
 """
 
 from __future__ import annotations
@@ -28,15 +34,24 @@ E_DIRTY = 3
 
 
 class SetAssocCache(SimComponent):
-    """LRU set-associative cache over abstract block indices."""
+    """Set-associative cache over abstract block indices.
+
+    ``policy`` is a :class:`~repro.memory.policies.ReplacementPolicy`
+    instance or name (default ``"lru"``); the instance belongs to this
+    cache alone (stateful policies must not be shared across levels).
+    """
 
     def __init__(self, size_bytes: int, assoc: int, block_bytes: int = 64,
-                 name: str = "cache"):
+                 name: str = "cache", policy=None):
         if size_bytes % (assoc * block_bytes) != 0:
             raise ValueError(
                 f"{name}: size {size_bytes} not divisible by "
                 f"assoc*block ({assoc}*{block_bytes})"
             )
+        # Imported here: policies.py depends on this module's layout
+        # constants (E_*/ORIGIN_*).
+        from repro.memory.policies import make_policy
+
         self.name = name
         self.size_bytes = size_bytes
         self.assoc = assoc
@@ -46,6 +61,9 @@ class SetAssocCache(SimComponent):
             raise ValueError(f"{name}: set count {self.n_sets} not a power of 2")
         self._set_mask = self.n_sets - 1
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.policy = make_policy(policy if policy is not None else "lru")
+        # Hot-path binding: one dispatch per fill, none per hit.
+        self._insert_line = self.policy.insert_line
 
     def lookup(self, block: int) -> Optional[list]:
         """Return the entry for ``block`` (LRU-touching it) or None."""
@@ -74,11 +92,9 @@ class SetAssocCache(SimComponent):
         if existing is not None:
             entries.move_to_end(block)
             return None
-        evicted = None
-        if len(entries) >= self.assoc:
-            evicted = entries.popitem(last=False)
-        entries[block] = [origin, used, issue_index, False]
-        return evicted
+        return self._insert_line(
+            entries, block, [origin, used, issue_index, False], self.assoc
+        )
 
     def invalidate(self, block: int) -> Optional[list]:
         """Remove ``block`` if resident; return its entry."""
@@ -103,19 +119,22 @@ class SetAssocCache(SimComponent):
     # ------------------------------------------------------------------
     def reset(self) -> None:
         self.clear()
+        self.policy.reset()
 
     def state_dict(self) -> Dict[str, object]:
-        # Per set: (block, entry) pairs in LRU order (least recent
+        # Per set: (block, entry) pairs in recency order (least recent
         # first), which is exactly the OrderedDict iteration order.
         return {
             "sets": [
                 [(block, list(entry)) for block, entry in entries.items()]
                 for entries in self._sets
             ],
+            "policy": self.policy.state_dict(),
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
-        check_state_fields(self, state, ("sets",))
+        check_state_fields(self, state, ("sets", "policy"))
+        self.policy.load_state_dict(state["policy"])
         sets = state["sets"]
         if len(sets) != self.n_sets:
             raise ValueError(

@@ -58,6 +58,9 @@ class HierarchyParams:
     pf_mshrs: int = 16
     pf_queue: int = 512
     perfect_l1i: bool = False
+    #: Replacement policy name (see :mod:`repro.memory.policies`)
+    #: applied to L1-I, L2 and LLC; each level gets its own instance.
+    policy: str = "lru"
 
 
 class MemoryHierarchy(SimComponent):
@@ -67,9 +70,12 @@ class MemoryHierarchy(SimComponent):
         self.params = params
         self.stats = stats
         p = params
-        self.l1i = SetAssocCache(p.l1i_bytes, p.l1i_assoc, p.block_bytes, "L1I")
-        self.l2 = SetAssocCache(p.l2_bytes, p.l2_assoc, p.block_bytes, "L2")
-        self.llc = SetAssocCache(p.llc_bytes, p.llc_assoc, p.block_bytes, "LLC")
+        self.l1i = SetAssocCache(p.l1i_bytes, p.l1i_assoc, p.block_bytes,
+                                 "L1I", policy=p.policy)
+        self.l2 = SetAssocCache(p.l2_bytes, p.l2_assoc, p.block_bytes,
+                                "L2", policy=p.policy)
+        self.llc = SetAssocCache(p.llc_bytes, p.llc_assoc, p.block_bytes,
+                                 "LLC", policy=p.policy)
         # Hot-path constants (params are immutable after construction).
         self._lat_l2 = float(p.lat_l2)
         self._lat_llc = float(p.lat_llc)
@@ -108,10 +114,13 @@ class MemoryHierarchy(SimComponent):
         entry = self.l1i.lookup(block)
         if entry is not None:
             stats.l1i_hits += 1
-            if not entry[E_USED]:
-                origin = entry[E_ORIGIN]
-                entry[E_USED] = True
-                if origin != ORIGIN_DEMAND:
+            origin = entry[E_ORIGIN]
+            if origin != ORIGIN_DEMAND:
+                # Hit on a line a prefetcher brought in (the attribution
+                # the policy study needs: prefetch-hit vs demand-hit).
+                stats.l1i_prefetch_hits += 1
+                if not entry[E_USED]:
+                    entry[E_USED] = True
                     stats.pf_useful[origin] += 1
                     stats.covered[origin] += 1
                     issue = entry[E_ISSUE]
@@ -120,6 +129,10 @@ class MemoryHierarchy(SimComponent):
                             self.access_clock - issue
                         )
                         stats.distance_n[origin] += 1
+            else:
+                stats.l1i_demand_hits += 1
+                if not entry[E_USED]:
+                    entry[E_USED] = True
             return 0.0
         stats.l1i_misses += 1
         fill = self._inflight.get(block)
@@ -421,3 +434,4 @@ class MemoryHierarchy(SimComponent):
             origin = entry[E_ORIGIN]
             if origin != ORIGIN_DEMAND:
                 self.stats.pf_useless[origin] += 1
+                self.stats.unused_prefetch_evictions += 1

@@ -1,9 +1,20 @@
-"""Instruction TLB model (fully associative, LRU).
+"""Instruction TLB model (fully associative, pluggable replacement).
 
 Demand fetches that miss stall for the page-walk latency; prefetch
 translations (HP dispatches spatial-region base addresses to the TLB,
 §5.3.5) add the walk latency to the prefetch's completion time instead
 of stalling the core.
+
+When the I-TLB prefetch path is enabled (``core.itlb_prefetch``), FDIP
+runahead / HP replay / baseline-prefetcher addresses are probed at page
+granularity through :meth:`InstructionTLB.prefetch`: a missing
+translation is installed *without* counting as a demand miss and
+without stalling anything — the first demand touch of such an entry is
+a prefetch-covered walk (``pf_hits``).  Entries carry the same
+``[origin, used]`` metadata as cache lines, so the prefetch-aware
+replacement policies (:mod:`repro.memory.policies`) apply to the TLB
+unchanged: speculative translations insert distally and are demoted
+first while unused.
 """
 
 from __future__ import annotations
@@ -12,63 +23,118 @@ from collections import OrderedDict
 from typing import Dict
 
 from repro.cpu.component import SimComponent, check_state_fields
+from repro.memory.cache import E_USED, ORIGIN_DEMAND, ORIGIN_PF
 
 #: Page-walk latency in cycles charged on a TLB miss.
 DEFAULT_WALK_LATENCY = 40
 
 
 class InstructionTLB(SimComponent):
-    """Fully associative LRU I-TLB over page indices."""
+    """Fully associative I-TLB over page indices.
+
+    ``policy`` is a :class:`~repro.memory.policies.ReplacementPolicy`
+    name or instance (default ``"lru"``, the historical behavior).
+    """
 
     def __init__(self, n_entries: int = 128,
-                 walk_latency: int = DEFAULT_WALK_LATENCY):
+                 walk_latency: int = DEFAULT_WALK_LATENCY,
+                 policy=None):
         if n_entries < 1:
             raise ValueError("TLB needs at least one entry")
+        from repro.memory.policies import make_policy
+
         self.n_entries = n_entries
         self.walk_latency = walk_latency
+        self.policy = make_policy(policy if policy is not None else "lru")
+        self._insert_line = self.policy.insert_line
         self._entries: OrderedDict = OrderedDict()
         self.accesses = 0
         self.misses = 0
+        # Prefetch-probe path (core.itlb_prefetch); all three stay 0
+        # when the path is off, keeping default stats bit-identical.
+        self.pf_probes = 0
+        self.pf_installs = 0
+        self.pf_hits = 0  # first demand touch of a prefetched entry
 
     def translate(self, page: int) -> int:
         """Access the TLB for ``page``; return the added latency in cycles.
 
         0 on a hit; ``walk_latency`` on a miss (the page is then
-        installed, evicting the LRU entry if full).
+        installed per the replacement policy).
         """
         self.accesses += 1
         entries = self._entries
-        if page in entries:
+        entry = entries.get(page)
+        if entry is not None:
             entries.move_to_end(page)
+            if not entry[E_USED]:
+                entry[E_USED] = True
+                self.pf_hits += 1
             return 0
         self.misses += 1
-        if len(entries) >= self.n_entries:
-            entries.popitem(last=False)
-        entries[page] = True
+        self._insert_line(
+            entries, page, [ORIGIN_DEMAND, True], self.n_entries
+        )
+        return self.walk_latency
+
+    def prefetch(self, page: int, origin: int = ORIGIN_PF) -> int:
+        """Non-stalling page-granularity prefetch probe.
+
+        Installs ``page`` if absent (counted as ``pf_installs``, *not*
+        as a demand miss) and returns the walk latency the requester
+        should fold into its own completion time; a resident page costs
+        nothing and — unlike a demand access — is not promoted.
+        """
+        self.pf_probes += 1
+        entries = self._entries
+        if page in entries:
+            return 0
+        self.pf_installs += 1
+        self._insert_line(
+            entries, page, [origin, False], self.n_entries
+        )
         return self.walk_latency
 
     # ------------------------------------------------------------------
     # SimComponent protocol
     # ------------------------------------------------------------------
+    _STATE_FIELDS = ("pages", "accesses", "misses", "pf_probes",
+                     "pf_installs", "pf_hits", "policy")
+
     def reset(self) -> None:
         self._entries.clear()
+        self.policy.reset()
         self.accesses = 0
         self.misses = 0
+        self.pf_probes = 0
+        self.pf_installs = 0
+        self.pf_hits = 0
 
     def state_dict(self) -> Dict[str, object]:
         return {
-            "pages": list(self._entries),  # LRU order, least recent first
+            # Recency order, least recent first, with per-entry
+            # [origin, used] metadata.
+            "pages": [(page, list(entry))
+                      for page, entry in self._entries.items()],
             "accesses": self.accesses,
             "misses": self.misses,
+            "pf_probes": self.pf_probes,
+            "pf_installs": self.pf_installs,
+            "pf_hits": self.pf_hits,
+            "policy": self.policy.state_dict(),
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
-        check_state_fields(self, state, ("pages", "accesses", "misses"))
+        check_state_fields(self, state, self._STATE_FIELDS)
+        self.policy.load_state_dict(state["policy"])
         self._entries.clear()
-        for page in state["pages"]:
-            self._entries[page] = True
+        for page, entry in state["pages"]:
+            self._entries[page] = list(entry)
         self.accesses = state["accesses"]
         self.misses = state["misses"]
+        self.pf_probes = state["pf_probes"]
+        self.pf_installs = state["pf_installs"]
+        self.pf_hits = state["pf_hits"]
 
     def stats_snapshot(self) -> Dict[str, float]:
         return {"resident": float(len(self)), "miss_rate": self.miss_rate}

@@ -17,7 +17,9 @@ from repro.memory.cache import ORIGIN_PF
 
 #: Attributes that are wiring (references into the machine), not
 #: prefetcher-owned mutable state; excluded from the default snapshot.
-_WIRING = frozenset({"sim", "trace", "hierarchy", "stats"})
+#: ``_itlb_pf`` is a bound method of the machine's I-TLB — snapshotting
+#: it would deep-copy the whole TLB through the closure.
+_WIRING = frozenset({"sim", "trace", "hierarchy", "stats", "_itlb_pf"})
 
 
 class InstructionPrefetcher(SimComponent):
@@ -41,6 +43,7 @@ class InstructionPrefetcher(SimComponent):
         self.trace = None
         self.hierarchy = None
         self.stats = None
+        self._itlb_pf = None  # lint: ephemeral
 
     def attach(self, sim, trace) -> None:
         """Bind to a simulator and trace before the run starts."""
@@ -48,6 +51,9 @@ class InstructionPrefetcher(SimComponent):
         self.trace = trace
         self.hierarchy = sim.hierarchy
         self.stats = sim.stats
+        self._itlb_pf = (  # lint: ephemeral
+            sim.itlb.prefetch if sim.config.core.itlb_prefetch else None
+        )
         self.reset()
 
     def reset(self) -> None:
@@ -93,7 +99,14 @@ class InstructionPrefetcher(SimComponent):
     # ------------------------------------------------------------------
     def issue(self, block: int, now: float, i: int,
               extra_latency: float = 0.0, to_l2: bool = False) -> bool:
-        """Issue one prefetch with origin ``ORIGIN_PF``."""
+        """Issue one prefetch with origin ``ORIGIN_PF``.
+
+        With the I-TLB prefetch path enabled the block's page is probed
+        into the TLB as well (non-stalling; block 64B, page 4KB).
+        """
+        tlb_pf = self._itlb_pf
+        if tlb_pf is not None:
+            tlb_pf(block >> 6)
         return self.hierarchy.prefetch(
             block, now, ORIGIN_PF, extra_latency=extra_latency,
             to_l2=to_l2, issue_index=i,

@@ -26,6 +26,7 @@ from repro.frontend.ittage import ITTagePredictor
 from repro.frontend.ras import ReturnAddressStack
 from repro.frontend.tage import TagePredictor
 from repro.memory.cache import ORIGIN_DEMAND, ORIGIN_PF, SetAssocCache
+from repro.memory.policies import POLICY_NAMES, BIPPolicy, LRUPolicy
 from repro.memory.tlb import InstructionTLB
 from repro.prefetchers import PREFETCHER_NAMES, make_prefetcher
 
@@ -72,6 +73,8 @@ class TestProtocol:
             MetadataAddressTable(16, 4),
             MetadataBuffer(capacity_bytes=2 * 384),
             CompressionBuffer(capacity=2),
+            LRUPolicy(),
+            BIPPolicy(),
         ]
         for comp in components:
             with pytest.raises(ValueError):
@@ -152,11 +155,43 @@ def test_cache_roundtrip(ops):
     _roundtrip(lambda: SetAssocCache(4096, 4, name="t"), ops, drive)
 
 
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+@settings(max_examples=15, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from("ilp"),
+                               st.integers(0, 200)), max_size=60))
+def test_cache_roundtrip_every_policy(policy, ops):
+    def drive(cache, op):
+        kind, block = op
+        if kind == "i":
+            cache.insert(block, ORIGIN_PF if block % 3 else ORIGIN_DEMAND,
+                         issue_index=block)
+        elif kind == "l":
+            cache.lookup(block)
+        else:
+            cache.invalidate(block)
+
+    _roundtrip(lambda: SetAssocCache(4096, 4, name="t", policy=policy),
+               ops, drive)
+
+
 @settings(max_examples=30, deadline=None)
 @given(st.lists(st.integers(0, 40), max_size=60))
 def test_tlb_roundtrip(pages):
     _roundtrip(lambda: InstructionTLB(8),
                pages, lambda tlb, page: tlb.translate(page))
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+@settings(max_examples=15, deadline=None)
+@given(pages=st.lists(st.integers(0, 40), max_size=60))
+def test_tlb_roundtrip_every_policy(policy, pages):
+    def drive(tlb, page):
+        if page % 5 == 0:
+            tlb.prefetch(page)
+        else:
+            tlb.translate(page)
+
+    _roundtrip(lambda: InstructionTLB(8, policy=policy), pages, drive)
 
 
 @pytest.mark.parametrize("entries", [64, None])

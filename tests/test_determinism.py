@@ -7,6 +7,10 @@ randomization or id()s).
 """
 
 import hashlib
+import json
+import pathlib
+
+import pytest
 
 from repro.cpu import simulate
 from repro.cpu.simulator import FrontEndSimulator
@@ -175,3 +179,41 @@ class TestMicroserviceSweepDeterminism:
             assert (s.stats.extra["probe.request_latency"]
                     == p.stats.extra["probe.request_latency"]), \
                 s.point.label
+
+
+class TestGoldenMatrix:
+    """The policy refactor contract: with the default LRU substrate and
+    the I-TLB prefetch path off, every workload × prefetcher point is
+    bit-identical to the stats recorded before eviction became
+    pluggable (tests/data/golden_matrix.json, tiny scale).
+
+    Only the fields present in the golden file are compared — SimStats
+    may grow new counters (they start at zero and cannot retroactively
+    change the recorded ones).
+    """
+
+    _GOLDEN = json.loads(
+        (pathlib.Path(__file__).parent / "data" / "golden_matrix.json")
+        .read_text()
+    )
+
+    @pytest.mark.parametrize(
+        "point", _GOLDEN["points"],
+        ids=[f"{p['workload']}-{p['prefetcher']}"
+             for p in _GOLDEN["points"]],
+    )
+    def test_point_bit_identical(self, point):
+        from repro.experiments.runner import run_prefetcher
+
+        stats, _ = run_prefetcher(
+            point["workload"], point["prefetcher"],
+            scale=self._GOLDEN["scale"], use_cache=False,
+        )
+        current = json.loads(json.dumps(stats.state_dict()))
+        golden = point["stats"]
+        mismatched = {
+            field: (golden[field], current[field])
+            for field in golden
+            if current[field] != golden[field]
+        }
+        assert not mismatched

@@ -203,3 +203,57 @@ class TestUncoreTraffic:
         h, s = make_hier()
         h.metadata_write(0, 2, 0.0)
         assert s.memory_traffic_bytes >= s.metadata_bytes > 0
+
+
+class TestPolicyPlumbing:
+    def test_every_level_gets_the_configured_policy(self):
+        h, _ = make_hier(policy="pf_aware")
+        assert h.l1i.policy.name == "pf_aware"
+        assert h.l2.policy.name == "pf_aware"
+        assert h.llc.policy.name == "pf_aware"
+        # Policy instances are per-cache, never shared across levels.
+        assert h.l1i.policy is not h.l2.policy
+
+    def test_default_policy_is_lru(self):
+        h, _ = make_hier()
+        assert h.l1i.policy.name == "lru"
+
+    def test_pf_aware_evicts_unused_prefetch_first(self):
+        h, s = make_hier(l1i_bytes=64 * 8, policy="pf_aware")  # 1 set
+        h.prefetch(100, 0.0, ORIGIN_PF)
+        h.drain(h.params.lat_dram + 1)
+        # 7 demand fills leave the set full; the unused prefetched
+        # block is the preferred victim on the 8th, not the LRU demand
+        # block.
+        for b in range(200, 207):
+            h.demand_fetch(b, 1e4, 0)
+        assert h.in_l1i(100)
+        h.demand_fetch(207, 1e4, 0)
+        assert not h.in_l1i(100)
+        assert h.in_l1i(200)
+        assert s.pf_useless[ORIGIN_PF] == 1
+        assert s.unused_prefetch_evictions == 1
+
+    def test_pf_aware_protects_demand_touched_prefetch(self):
+        h, s = make_hier(l1i_bytes=64 * 8, policy="pf_aware")
+        h.prefetch(100, 0.0, ORIGIN_PF)
+        h.prefetch(300, 0.0, ORIGIN_PF)
+        h.drain(h.params.lat_dram + 1)
+        h.demand_fetch(100, 1e4, 1)  # first touch promotes + marks used
+        # Fill the set; the forced eviction demotes the still-unused
+        # 300, not the demand-touched 100 (which sits deeper in LRU).
+        for b in range(200, 207):
+            h.demand_fetch(b, 1e4, 0)
+        assert h.in_l1i(100)
+        assert not h.in_l1i(300)
+        assert s.unused_prefetch_evictions == 1
+
+    def test_split_hit_counters(self):
+        h, s = make_hier()
+        h.prefetch(100, 0.0, ORIGIN_FDIP)
+        h.demand_fetch(200, 0.0, 0)
+        h.demand_fetch(100, 1e4, 1)  # hit on a prefetched block
+        h.demand_fetch(200, 1e4, 2)  # hit on a demand block
+        assert s.l1i_prefetch_hits == 1
+        assert s.l1i_demand_hits == 1
+        assert s.l1i_hits == 2
