@@ -6,6 +6,12 @@ Subcommands::
     repro run WORKLOAD               simulate one prefetcher vs. FDIP
     repro compare WORKLOAD           run the paper's comparison set
     repro sweep [WORKLOAD...]        parallel cached grid (--jobs N)
+    repro sweep --manifest F.toml    declarative grid via the sharded
+                                     sweep service (--shards N)
+    repro manifest validate F...     check sweep manifests
+    repro manifest expand F          show a manifest's expanded points
+    repro manifest events F.jsonl    summarize a progress event stream
+    repro cache info|compact|clear   on-disk result cache maintenance
     repro probe WORKLOAD             interval IPC/MPKI/accuracy timelines
     repro bench [NAME...]            performance microbenchmarks
     repro bench compare BASE NEW     diff two benchmark artifact sets
@@ -161,34 +167,82 @@ def cmd_sweep(args) -> int:
 
         runner.clear_run_cache(disk=True)
         print(f"cleared simulation cache at {diskcache.get_cache().root}")
-        if not args.workloads:
+        if not (args.workloads or args.manifest):
             return 0
-    workloads = args.workloads or list(WORKLOAD_NAMES)
-    unknown = [w for w in workloads if w not in ALL_WORKLOAD_NAMES]
-    if unknown:
-        print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
-    if args.policy:
-        from repro.experiments.policies import policy_overrides
+    if args.manifest:
+        if args.workloads or args.policy:
+            print("--manifest already defines the grid; drop the "
+                  "positional workloads / --policy arguments",
+                  file=sys.stderr)
+            return 2
+        from repro.experiments.manifest import ManifestError, load_manifest
 
-        points = []
-        for pol in args.policy:
-            points += grid(
-                workloads, args.prefetchers, scale=args.scale,
-                seed=args.seed, warmup=args.warmup,
-                overrides=policy_overrides(pol, args.itlb_prefetch),
-            )
+        try:
+            manifest = load_manifest(args.manifest)
+        except ManifestError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        points = manifest.expand()
+        title = manifest.name or args.manifest
+        print(f"manifest {title}: {len(points)} point(s)"
+              + (f" (sampled from {manifest.full_count})"
+                 if manifest.sample else ""))
+    elif args.events and args.shards is None:
+        print("--events requires --manifest or --shards (the sharded "
+              "service emits the stream)", file=sys.stderr)
+        return 2
     else:
-        points = grid(workloads, args.prefetchers, scale=args.scale,
-                      seed=args.seed, warmup=args.warmup)
+        workloads = args.workloads or list(WORKLOAD_NAMES)
+        unknown = [w for w in workloads if w not in ALL_WORKLOAD_NAMES]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        if args.policy:
+            from repro.experiments.policies import policy_overrides
+
+            points = []
+            for pol in args.policy:
+                points += grid(
+                    workloads, args.prefetchers, scale=args.scale,
+                    seed=args.seed, warmup=args.warmup,
+                    overrides=policy_overrides(pol, args.itlb_prefetch),
+                )
+        else:
+            points = grid(workloads, args.prefetchers, scale=args.scale,
+                          seed=args.seed, warmup=args.warmup)
+    use_service = args.manifest is not None or args.shards is not None
     before = runner.run_cache_stats()
     start = time.perf_counter()
     try:
-        report = sweep(
-            points, jobs=args.jobs, use_cache=not args.no_cache,
-            progress=print, max_retries=args.max_retries,
-            point_timeout=args.point_timeout, keep_going=args.keep_going,
-        )
+        if use_service:
+            from repro.experiments.service import (
+                JsonlEventLog,
+                ServiceConfig,
+                serve_sweep,
+            )
+
+            config = ServiceConfig(
+                shards=args.shards or 2, jobs=args.jobs,
+                use_cache=not args.no_cache,
+                max_retries=args.max_retries,
+                point_timeout=args.point_timeout,
+                keep_going=args.keep_going,
+            )
+            if args.events:
+                with JsonlEventLog(args.events) as log:
+                    report = serve_sweep(points, config, events=log,
+                                         progress=print)
+                print(f"progress events -> {args.events}")
+            else:
+                report = serve_sweep(points, config, progress=print)
+        else:
+            report = sweep(
+                points, jobs=args.jobs, use_cache=not args.no_cache,
+                progress=print, max_retries=args.max_retries,
+                point_timeout=args.point_timeout,
+                keep_going=args.keep_going,
+            )
     except PointFailure as failure:
         print(f"sweep aborted: {failure} "
               "(use --keep-going to collect partial results)",
@@ -200,22 +254,37 @@ def cmd_sweep(args) -> int:
     def _policy_of(point):
         return (point.overrides or {}).get("hierarchy.policy", "lru")
 
-    # FDIP baselines are per (workload, policy): a policy reshapes the
-    # baseline substrate too, so speedups must compare like with like.
-    baselines = {(r.point.workload, _policy_of(r.point)): r.stats
+    # FDIP baselines are per (workload, policy, scale, seed): a policy
+    # reshapes the baseline substrate too, and a manifest may sweep
+    # heterogeneous scales/seeds, so speedups must compare like with
+    # like.
+    def _base_key(point):
+        return (point.workload, _policy_of(point), point.scale,
+                point.seed)
+
+    baselines = {_base_key(r.point): r.stats
                  for r in results if r.point.prefetcher is None}
-    with_policy = bool(args.policy)
+    with_policy = bool(getattr(args, "policy", None)) or any(
+        "hierarchy.policy" in (r.point.overrides or {}) for r in results)
+    # Scale/seed columns appear only when the grid actually varies them
+    # (manifests can; the flag path cannot).
+    with_scale = len({r.point.scale for r in results}) > 1
+    with_seed = len({r.point.seed for r in results}) > 1
     # Request-latency columns appear when any swept workload carries
     # per-request SLO accounting (the microservice family).
     with_slo = any(r.stats.has_request_latency for r in results)
     rows = []
     for r in results:
-        base = baselines.get((r.point.workload, _policy_of(r.point)))
+        base = baselines.get(_base_key(r.point))
         speedup = ("-" if r.point.prefetcher is None or base is None
                    else f"{r.stats.ipc / base.ipc - 1:+.1%}")
         row = [
             r.point.workload, r.point.prefetcher or "fdip",
         ]
+        if with_scale:
+            row.append(r.point.scale)
+        if with_seed:
+            row.append(str(r.point.seed))
         if with_policy:
             row.append(_policy_of(r.point))
         row += [
@@ -235,6 +304,10 @@ def cmd_sweep(args) -> int:
         row += [r.source, f"{r.seconds:.2f}"]
         rows.append(row)
     header = ["workload", "prefetcher"]
+    if with_scale:
+        header.append("scale")
+    if with_seed:
+        header.append("seed")
     if with_policy:
         header.append("policy")
     header += ["ipc", "l1i_mpki", "speedup"]
@@ -248,8 +321,10 @@ def cmd_sweep(args) -> int:
     disk = s.disk_hits - before.disk_hits
     memory = s.memory_hits - before.memory_hits
     corrupt = s.cache_corrupt - before.cache_corrupt
+    lane = (f"--shards {args.shards or 2} --jobs {args.jobs}"
+            if use_service else f"--jobs {args.jobs}")
     summary = (f"\n{len(results)}/{len(points)} points in {elapsed:.1f}s "
-               f"with --jobs {args.jobs}: {simulated} simulated, "
+               f"with {lane}: {simulated} simulated, "
                f"{disk} disk hits, {memory} memory hits")
     if corrupt:
         summary += f", {corrupt} corrupt cache entries quarantined"
@@ -451,6 +526,108 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_manifest(args) -> int:
+    from repro.experiments.manifest import ManifestError, load_manifest
+
+    if args.action == "validate":
+        bad = 0
+        for path in args.files:
+            try:
+                manifest = load_manifest(path)
+            except ManifestError as exc:
+                print(exc, file=sys.stderr)
+                bad += 1
+                continue
+            except FileNotFoundError:
+                print(f"{path}: no such file", file=sys.stderr)
+                bad += 1
+                continue
+            n = len(manifest.expand())
+            sampled = (f" (sampled from {manifest.full_count})"
+                       if manifest.sample else "")
+            print(f"OK {path}: {manifest.name or '<unnamed>'}, "
+                  f"{n} point(s){sampled}")
+        return 2 if bad else 0
+
+    if args.action == "expand":
+        try:
+            manifest = load_manifest(args.files[0])
+        except ManifestError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        points = manifest.expand()
+        if args.json:
+            import json
+
+            print(json.dumps({
+                "manifest": manifest.to_dict(),
+                "count": len(points),
+                "points": [
+                    {"workload": p.workload,
+                     "prefetcher": p.prefetcher or "fdip",
+                     "scale": p.scale, "seed": p.seed,
+                     "overrides": p.overrides or {}}
+                    for p in points
+                ],
+            }, indent=2, sort_keys=True))
+            return 0
+        rows = [[str(i), p.workload, p.prefetcher or "fdip", p.scale,
+                 str(p.seed),
+                 (p.overrides or {}).get("hierarchy.policy", "-")]
+                for i, p in enumerate(points)]
+        print(format_table(
+            ["#", "workload", "prefetcher", "scale", "seed", "policy"],
+            rows))
+        print(f"\n{len(points)} point(s)"
+              + (f" sampled from {manifest.full_count}"
+                 if manifest.sample else ""))
+        return 0
+
+    # action == "events": summarize a service JSONL progress stream.
+    from repro.experiments.service import (
+        format_events_summary,
+        read_events,
+        summarize_events,
+    )
+
+    try:
+        summary = summarize_events(read_events(args.files[0]))
+    except (OSError, ValueError) as exc:
+        print(f"{args.files[0]}: {exc}", file=sys.stderr)
+        return 2
+    print(format_events_summary(summary))
+    if args.check and (summary["failed"] or summary["missing"]):
+        return 1
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.experiments import diskcache
+
+    cache = diskcache.get_cache()
+    warmup = diskcache.get_warmup_cache()
+    if args.action == "info":
+        for title, store in (("results", cache), ("warmup", warmup)):
+            s = store.stats()
+            print(f"{title}: {s['entries']} entries, {s['bytes']} bytes, "
+                  f"{s['legacy']} legacy flat, {s['quarantined']} "
+                  f"quarantined, {s['shard_dirs']} shard dir(s) "
+                  f"[{s['root']}]")
+        return 0
+    if args.action == "compact":
+        for title, store in (("results", cache), ("warmup", warmup)):
+            report = store.compact(
+                purge_quarantined=not args.keep_quarantined)
+            print(f"{title}: {report.describe()}")
+        return 0
+    # action == "clear"
+    from repro.experiments import runner
+
+    runner.clear_run_cache(disk=True)
+    print(f"cleared simulation cache at {cache.root}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint.cli import cmd_lint as _cmd_lint
 
@@ -533,7 +710,51 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--itlb-prefetch", action="store_true",
                     help="enable the I-TLB prefetch path on every "
                          "--policy point")
+    sw.add_argument("--manifest", default=None, metavar="FILE",
+                    help="run a declarative sweep manifest (.toml/.json, "
+                         "docs/SWEEP_SERVICE.md) through the sharded "
+                         "service instead of building the grid from "
+                         "flags")
+    sw.add_argument("--shards", type=int, default=None, metavar="N",
+                    help="run through the sharded sweep service with N "
+                         "local shards x --jobs workers each "
+                         "(default with --manifest: 2)")
+    sw.add_argument("--events", default=None, metavar="FILE",
+                    help="stream JSONL progress events (scheduled/"
+                         "completed/retried/failed) to FILE; service "
+                         "mode only")
     _add_scale(sw)
+
+    man = sub.add_parser(
+        "manifest",
+        help="validate, expand, or summarize declarative sweep "
+             "manifests (docs/SWEEP_SERVICE.md)",
+    )
+    man.add_argument("action", choices=("validate", "expand", "events"),
+                     help="validate FILES... | expand FILE | events FILE")
+    man.add_argument("files", nargs="+", metavar="FILE",
+                     help="manifest file(s), or one JSONL event stream "
+                          "for 'events'")
+    man.add_argument("--json", action="store_true",
+                     help="expand: emit the canonical manifest + points "
+                          "as JSON")
+    man.add_argument("--check", action="store_true",
+                     help="events: exit 1 when the stream records "
+                          "failures or unaccounted points")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the on-disk simulation cache "
+             "(docs/SWEEP_CACHE.md)",
+    )
+    cache.add_argument("action", choices=("info", "compact", "clear"),
+                       help="info: counters | compact: migrate legacy "
+                            "flat entries, drop stale schemas, purge "
+                            "quarantine, GC empty shard dirs | clear: "
+                            "delete everything")
+    cache.add_argument("--keep-quarantined", action="store_true",
+                       help="compact: keep *.corrupt sidecars instead "
+                            "of purging them")
 
     probe = sub.add_parser(
         "probe",
@@ -613,6 +834,8 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "manifest": cmd_manifest,
+    "cache": cmd_cache,
     "probe": cmd_probe,
     "bench": cmd_bench,
     "bundles": cmd_bundles,

@@ -30,6 +30,13 @@ from repro.experiments.errors import (
     WorkerCrashError,
 )
 from repro.experiments.faults import Fault, FaultPlan
+from repro.experiments.manifest import (
+    GridSample,
+    ManifestError,
+    SweepManifest,
+    load_manifest,
+    parse_manifest,
+)
 from repro.experiments.policies import (
     POLICY_PREFETCHERS,
     fig20_policy_grid,
@@ -44,6 +51,13 @@ from repro.experiments.slo import (
     fig19_slo_timeline,
     slo_sweep,
     tab05_slo_summary,
+)
+from repro.experiments.service import (
+    JsonlEventLog,
+    ServiceConfig,
+    read_events,
+    serve_sweep,
+    summarize_events,
 )
 from repro.experiments.sweep import (
     SweepPoint,
@@ -78,6 +92,16 @@ __all__ = [
     "grid",
     "sweep",
     "sweep_grid",
+    "GridSample",
+    "ManifestError",
+    "SweepManifest",
+    "load_manifest",
+    "parse_manifest",
+    "ServiceConfig",
+    "JsonlEventLog",
+    "serve_sweep",
+    "read_events",
+    "summarize_events",
     "SLO_PREFETCHERS",
     "slo_sweep",
     "fig18_slo_grid",

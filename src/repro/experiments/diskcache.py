@@ -11,6 +11,13 @@ Layout (see docs/SWEEP_CACHE.md)::
 
     <root>/<digest[:2]>/<digest>.pkl
 
+Entries are sharded into 256 two-hex-character subdirectories so a
+10^5-entry store never puts more than a few hundred files in one
+directory.  Stores written before sharding kept every entry flat at
+``<root>/<digest>.pkl``; those **legacy flat entries** are still found
+on read and transparently migrated into their shard directory (and
+:meth:`DiskCache.compact` migrates the stragglers in bulk).
+
 Each file is a pickled *envelope* wrapping the pickled payload bytes
 with their SHA-256::
 
@@ -42,9 +49,11 @@ Environment knobs:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
+import re
 import tempfile
 from pathlib import Path
 from typing import Callable, Iterator, List, Optional
@@ -57,6 +66,11 @@ SCHEMA_VERSION = 1
 
 #: Suffix appended to quarantined entry files.
 QUARANTINE_SUFFIX = ".corrupt"
+
+#: Shard directories are exactly two lowercase hex characters; nothing
+#: else under the root (``warmup``, stray files) is ever touched by
+#: compaction.
+_SHARD_DIR = re.compile(r"^[0-9a-f]{2}$")
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_DISK_CACHE"
@@ -112,46 +126,97 @@ class DiskCache:
         digest = key_digest(key)
         return self.root / digest[:2] / f"{digest}.pkl"
 
+    def legacy_path_for(self, key: str) -> Path:
+        """Where ``key`` lived before shard directories: flat under the
+        root.  Only consulted as a read fallback and by :meth:`compact`."""
+        return self.root / f"{key_digest(key)}.pkl"
+
     # -- read ----------------------------------------------------------
     def get(self, key: str) -> Optional[dict]:
         """Load the payload for ``key``; None on miss or (after
-        quarantining the file) on corruption."""
+        quarantining the file) on corruption.
+
+        A miss at the sharded path falls back to the pre-sharding flat
+        location; a valid flat entry is served *and* migrated into its
+        shard directory so the next read is direct.  A corrupt flat
+        entry is quarantined into the shard directory like any other.
+        """
         path = self.path_for(key)
+        found, payload = self._read(path, quarantine_at=path)
+        if found:
+            return payload
+        legacy = self.legacy_path_for(key)
+        found, payload = self._read(legacy, quarantine_at=path)
+        if found and payload is not None:
+            self._migrate(legacy, path)
+        return payload
+
+    def _read(self, path: Path,
+              quarantine_at: Path) -> "tuple[bool, Optional[dict]]":
+        """Load + verify one entry file.
+
+        Returns ``(found, payload)``: ``(False, None)`` for a plain
+        miss, ``(True, None)`` when the file existed but was corrupt
+        (it has been quarantined beside ``quarantine_at``), and
+        ``(True, payload)`` on success.
+        """
         try:
             with open(path, "rb") as fh:
                 envelope = pickle.load(fh)
         except FileNotFoundError:
-            return None
+            return False, None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, MemoryError, ValueError) as exc:
-            return self._quarantine(path, f"undecodable entry: {exc!r}")
+            return True, self._quarantine(
+                path, f"undecodable entry: {exc!r}", quarantine_at)
         if not isinstance(envelope, dict):
-            return self._quarantine(path, "entry is not a dict")
+            return True, self._quarantine(
+                path, "entry is not a dict", quarantine_at)
         if "sha256" in envelope and "payload" in envelope:
             blob = envelope["payload"]
             if not isinstance(blob, bytes) or \
                     hashlib.sha256(blob).hexdigest() != envelope["sha256"]:
-                return self._quarantine(path, "checksum mismatch")
+                return True, self._quarantine(
+                    path, "checksum mismatch", quarantine_at)
             try:
                 payload = pickle.loads(blob)
             except Exception as exc:
-                return self._quarantine(
-                    path, f"undecodable payload: {exc!r}")
+                return True, self._quarantine(
+                    path, f"undecodable payload: {exc!r}", quarantine_at)
         else:
             # Pre-checksum entry: the pickle *is* the payload.  The
             # caller's schema/key validation decides whether to trust
             # it, exactly as before the envelope existed.
             payload = envelope
         if not isinstance(payload, dict):
-            return self._quarantine(path, "payload is not a dict")
-        return payload
+            return True, self._quarantine(
+                path, "payload is not a dict", quarantine_at)
+        return True, payload
 
-    def _quarantine(self, path: Path, reason: str) -> None:
-        """Move a bad entry aside and notify listeners; returns None so
-        callers can ``return self._quarantine(...)`` as a miss."""
-        target: Optional[Path] = path.with_name(
-            path.name + QUARANTINE_SUFFIX)
+    def _migrate(self, legacy: Path, path: Path) -> bool:
+        """Move a validated flat entry into its shard directory.  Best
+        effort: on any OS error the flat file keeps serving reads."""
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, path)
+            return True
+        except OSError:
+            return False
+
+    def _quarantine(self, path: Path, reason: str,
+                    quarantine_at: Optional[Path] = None) -> None:
+        """Move a bad entry aside and notify listeners; returns None so
+        callers can ``return self._quarantine(...)`` as a miss.
+
+        The sidecar lands beside ``quarantine_at`` (default: beside the
+        bad file itself) — corrupt legacy flat entries are quarantined
+        into their shard directory so sidecars surface in one place.
+        """
+        sidecar = quarantine_at if quarantine_at is not None else path
+        target: Optional[Path] = sidecar.with_name(
+            sidecar.name + QUARANTINE_SUFFIX)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, target)
         except OSError:
             target = None
@@ -206,18 +271,27 @@ class DiskCache:
 
     # -- maintenance ---------------------------------------------------
     def entries(self) -> Iterator[Path]:
-        """All live entry files currently in the store (quarantined
-        ``*.corrupt`` sidecars excluded)."""
+        """All live entry files currently in the store — sharded and
+        legacy flat alike (quarantined ``*.corrupt`` sidecars
+        excluded)."""
         if not self.root.is_dir():
             return
+        yield from sorted(self.root.glob("*.pkl"))
         for shard in sorted(self.root.iterdir()):
             if shard.is_dir():
                 yield from sorted(shard.glob("*.pkl"))
+
+    def legacy_entries(self) -> Iterator[Path]:
+        """Flat pre-sharding entry files still sitting at the root."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*.pkl"))
 
     def quarantined(self) -> Iterator[Path]:
         """All quarantined sidecar files in the store."""
         if not self.root.is_dir():
             return
+        yield from sorted(self.root.glob(f"*{QUARANTINE_SUFFIX}"))
         for shard in sorted(self.root.iterdir()):
             if shard.is_dir():
                 yield from sorted(shard.glob(f"*{QUARANTINE_SUFFIX}"))
@@ -245,8 +319,109 @@ class DiskCache:
                 pass
         return removed
 
+    def stats(self) -> dict:
+        """Summary counters for ``repro cache info``."""
+        entries = list(self.entries())
+        legacy = list(self.legacy_entries())
+        shards = [d for d in self.root.iterdir()
+                  if d.is_dir() and _SHARD_DIR.match(d.name)] \
+            if self.root.is_dir() else []
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries
+                         if p.is_file()),
+            "legacy": len(legacy),
+            "quarantined": sum(1 for _ in self.quarantined()),
+            "shard_dirs": len(shards),
+        }
+
+    def compact(self, purge_quarantined: bool = True) -> "CompactReport":
+        """One maintenance pass over the whole store:
+
+        * migrate every legacy flat entry into its shard directory,
+          validating bytes on the way (corrupt ones are quarantined);
+        * re-verify every sharded entry and drop payloads whose
+          ``schema`` no longer matches :data:`SCHEMA_VERSION` — the
+          runner would ignore and lazily overwrite them anyway, this
+          reclaims the bytes eagerly;
+        * optionally delete quarantined ``*.corrupt`` sidecars
+          (``purge_quarantined``, default on);
+        * remove shard directories left empty.
+
+        ``warmup`` (the nested checkpoint store) and anything else that
+        is not a two-hex-char shard directory is never touched; run
+        ``compact()`` on :func:`get_warmup_cache` separately to GC
+        checkpoints.
+        """
+        report = CompactReport()
+        # Legacy flat entries: validate, then migrate or quarantine.
+        for legacy in list(self.legacy_entries()):
+            digest = legacy.stem
+            target = self.root / digest[:2] / legacy.name
+            found, payload = self._read(legacy, quarantine_at=target)
+            if not found:
+                continue  # raced away
+            if payload is None:
+                report.quarantined += 1
+            elif self._migrate(legacy, target):
+                report.migrated += 1
+        # Sharded entries: re-verify bytes, drop stale schemas.
+        for path in list(self.entries()):
+            if path.parent == self.root:
+                continue  # an unmigratable flat entry; leave it
+            found, payload = self._read(path, quarantine_at=path)
+            if not found or payload is None:
+                report.quarantined += found
+                continue
+            if payload.get("schema") != SCHEMA_VERSION:
+                try:
+                    path.unlink()
+                    report.stale_dropped += 1
+                except OSError:
+                    pass
+        if purge_quarantined:
+            for sidecar in list(self.quarantined()):
+                try:
+                    sidecar.unlink()
+                    report.purged_sidecars += 1
+                except OSError:
+                    pass
+        # Sweep away shard dirs emptied by the drops above.
+        if self.root.is_dir():
+            for shard in sorted(self.root.iterdir()):
+                if shard.is_dir() and _SHARD_DIR.match(shard.name):
+                    try:
+                        shard.rmdir()  # fails unless empty
+                        report.empty_dirs_removed += 1
+                    except OSError:
+                        pass
+        report.entries = len(self)
+        report.bytes = self.size_bytes()
+        return report
+
     def __repr__(self) -> str:
         return f"DiskCache({str(self.root)!r})"
+
+
+@dataclasses.dataclass
+class CompactReport:
+    """What one :meth:`DiskCache.compact` pass did."""
+
+    migrated: int = 0            #: flat entries moved into shard dirs
+    quarantined: int = 0         #: corrupt entries moved aside
+    stale_dropped: int = 0       #: entries with an outdated schema
+    purged_sidecars: int = 0     #: ``*.corrupt`` sidecars deleted
+    empty_dirs_removed: int = 0  #: emptied shard dirs removed
+    entries: int = 0             #: live entries after the pass
+    bytes: int = 0               #: store size after the pass
+
+    def describe(self) -> str:
+        return (f"migrated {self.migrated} legacy, quarantined "
+                f"{self.quarantined}, dropped {self.stale_dropped} "
+                f"stale, purged {self.purged_sidecars} sidecar(s), "
+                f"removed {self.empty_dirs_removed} empty dir(s); "
+                f"{self.entries} entries, {self.bytes} bytes")
 
 
 _DEFAULT: Optional[DiskCache] = None

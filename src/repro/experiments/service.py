@@ -1,0 +1,640 @@
+"""Sharded sweep service: manifest-scale grids over multiple local
+worker pools, with a streaming JSONL progress protocol.
+
+:func:`repro.experiments.sweep.sweep` supervises one pool of per-point
+worker processes.  That is the right shape for a few hundred points on
+one box; the 10^3–10^5-point grids a
+:mod:`repro.experiments.manifest` can describe want a *service*: an
+async scheduler that shards points across several pools, survives
+mid-flight failures, and streams progress that a CLI, a dashboard, or
+a CI step can tail.
+
+Architecture::
+
+    serve_sweep(points)
+      └─ _Scheduler           one queue of WorkUnits + retry deadlines
+           ├─ shard 0 ──┐     each shard: an asyncio task supervising
+           ├─ shard 1 ──┤     up to ``jobs`` live workers, pulling
+           └─ shard N ──┘     WorkUnits and pushing WorkOutcomes
+
+Every attempt of every point crosses the shard boundary as a
+:class:`WorkUnit` and comes back as a :class:`WorkOutcome` — both are
+flat, JSON-serializable records (``to_spec``/``from_spec``), so a
+*remote* worker pool is a transport change (serialize the same two
+messages over a socket/queue), not a scheduler change.  Local shards
+execute units through the exact per-point worker processes of the
+sweep engine (``sweep._spawn`` / ``sweep._reap``), so the PR-4 fault
+taxonomy, retry/backoff policy, point timeouts, and crash supervision
+apply unchanged, and results are bit-identical to a serial
+:func:`~repro.experiments.sweep.sweep` of the same points (asserted by
+tests/test_service.py).
+
+Progress events: every scheduling decision is emitted as one JSON
+object (``begin``, ``scheduled``, ``completed``, ``retried``,
+``failed``, ``end``) with a monotonic ``seq``.  :class:`JsonlEventLog`
+appends them to a file as JSON Lines; :func:`read_events` /
+:func:`summarize_events` consume the stream and check that every point
+is accounted for — the contract the CI ``manifest`` job enforces.
+Event emission can never fail a sweep: sink exceptions are swallowed.
+
+``inline=True`` executes units on in-process worker threads instead of
+processes (no isolation, ``point_timeout`` unenforced — injected hangs
+map straight to timeout failures, like serial sweeps).  It exists for
+huge synthetic grids and tests, where forking 10^3 interpreters would
+dominate the run; the scheduler, retry policy, and event stream are
+identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import importlib
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cpu.stats import SimStats
+from repro.experiments import faults as faults_mod
+from repro.experiments import runner
+from repro.experiments.errors import (
+    PointTimeoutError,
+    TransientError,
+    WorkerCrashError,
+    backoff_delay,
+)
+from repro.experiments.faults import FaultPlan
+from repro.experiments.sweep import (
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_RETRIES,
+    ProgressFn,
+    SweepPoint,
+    SweepReport,
+    SweepResult,
+    _default_progress,
+)
+
+# ``repro.experiments`` re-exports the ``sweep()`` *function* under the
+# same name as the submodule, so attribute access cannot reach the
+# module; resolve it through the import system instead.
+sweep_mod = importlib.import_module("repro.experiments.sweep")
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION", "ServiceConfig", "WorkUnit", "WorkOutcome",
+    "JsonlEventLog", "serve_sweep", "read_events", "summarize_events",
+    "format_events_summary",
+]
+
+#: Bump when the progress-event layout changes; consumers should check.
+EVENT_SCHEMA_VERSION = 1
+
+#: Scheduler poll period while shards supervise live workers.
+_POLL_SECONDS = 0.01
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service sweep (shape × resilience policy)."""
+
+    #: Local worker pools ("shards"); each runs an independent
+    #: supervision loop over the shared queue.
+    shards: int = 2
+    #: Live worker processes (or inline threads) per shard.
+    jobs: int = 2
+    max_retries: int = DEFAULT_MAX_RETRIES
+    point_timeout: Optional[float] = None
+    keep_going: bool = False
+    backoff_base: float = DEFAULT_BACKOFF
+    use_cache: bool = True
+    #: Execute units on in-process threads instead of worker processes
+    #: (tests / synthetic grids; no crash isolation or hang killing).
+    inline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+# ----------------------------------------------------------------------
+# The queue/result protocol
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One attempt of one point, as it crosses a worker-pool boundary."""
+
+    index: int
+    attempt: int
+    point: SweepPoint
+
+    def to_spec(self) -> dict:
+        return {"index": self.index, "attempt": self.attempt,
+                "point": dataclasses.asdict(self.point)}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "WorkUnit":
+        return cls(index=spec["index"], attempt=spec["attempt"],
+                   point=SweepPoint(**spec["point"]))
+
+
+#: Terminal ``WorkOutcome.status`` value.
+OK = "ok"
+#: Retryable statuses, mapped onto the PR-4 error taxonomy.
+_TRANSIENT_STATUSES = ("crash", "timeout", "transient")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkOutcome:
+    """What a worker pool reports back for one :class:`WorkUnit`."""
+
+    index: int
+    attempt: int
+    #: ``ok`` | ``crash`` | ``timeout`` | ``transient`` | ``error``.
+    status: str
+    stats_state: Optional[dict] = None
+    miss_map: Optional[dict] = None
+    source: str = "sim"
+    seconds: float = 0.0
+    message: str = ""
+    exitcode: Optional[int] = None
+    timeout: Optional[float] = None
+
+    def to_spec(self) -> dict:
+        spec = dataclasses.asdict(self)
+        return {k: v for k, v in spec.items() if v not in (None, "")}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "WorkOutcome":
+        return cls(**spec)
+
+    def to_error(self, label: str) -> Exception:
+        """The taxonomy error for a non-``ok`` outcome (mirrors
+        ``sweep._outcome_error`` so retry policy cannot diverge)."""
+        if self.status == "crash":
+            return WorkerCrashError(
+                self.message or f"worker for {label} died "
+                                f"(exit code {self.exitcode})",
+                exitcode=self.exitcode)
+        if self.status == "timeout":
+            return PointTimeoutError(
+                self.message or f"{label} exceeded point timeout",
+                timeout=self.timeout)
+        if self.status == "transient":
+            return TransientError(self.message)
+        return RuntimeError(self.message)
+
+
+def _outcome_from_reap(unit: WorkUnit, message: Tuple,
+                       label: str) -> WorkOutcome:
+    """Convert a ``sweep._reap`` outcome tuple into the protocol form."""
+    kind = message[0]
+    if kind == "ok":
+        _, stats_state, miss_map, source, elapsed = message
+        return WorkOutcome(unit.index, unit.attempt, OK,
+                           stats_state=stats_state, miss_map=miss_map,
+                           source=source, seconds=elapsed)
+    if kind == "crash":
+        return WorkOutcome(
+            unit.index, unit.attempt, "crash", exitcode=message[1],
+            message=f"worker for {label} died (exit code {message[1]})")
+    if kind == "timeout":
+        return WorkOutcome(
+            unit.index, unit.attempt, "timeout", timeout=message[1],
+            message=f"{label} exceeded point timeout "
+                    f"({message[1]:.1f}s)")
+    if kind == "transient":
+        return WorkOutcome(unit.index, unit.attempt, "transient",
+                           message=message[1])
+    return WorkOutcome(unit.index, unit.attempt, "error",
+                       message=message[1])
+
+
+def _execute_inline(unit: WorkUnit, use_cache: bool,
+                    plan: Optional[FaultPlan]) -> WorkOutcome:
+    """Run one unit on the calling thread (the ``inline=True`` path).
+
+    Fault mapping matches the serial sweep: ``crash`` → a crash
+    outcome, ``hang`` → a timeout outcome (no supervisor can terminate
+    an in-process point), ``error`` → a transient outcome.
+    """
+    point, index, attempt = unit.point, unit.index, unit.attempt
+    if plan:
+        fault = plan.exec_fault(index, point.label, attempt)
+        if fault is not None:
+            if fault.kind == faults_mod.CRASH:
+                return WorkOutcome(
+                    index, attempt, "crash",
+                    message=f"injected crash at {point.label}")
+            if fault.kind == faults_mod.HANG:
+                return WorkOutcome(
+                    index, attempt, "timeout",
+                    message=f"injected hang at {point.label}")
+            return WorkOutcome(
+                index, attempt, "transient",
+                message=f"injected transient fault at {point.label}")
+    try:
+        stats, miss_map, source, elapsed = sweep_mod._run_serial(
+            point, use_cache)
+    except Exception as exc:
+        return WorkOutcome(index, attempt, "error",
+                           message=f"{type(exc).__name__}: {exc}")
+    if plan and use_cache:
+        plan.corrupt_cache_entries(index, point.label, attempt,
+                                   point.key())
+    return WorkOutcome(index, attempt, OK,
+                       stats_state=stats.state_dict(),
+                       miss_map=miss_map, source=source, seconds=elapsed)
+
+
+# ----------------------------------------------------------------------
+# Progress events
+# ----------------------------------------------------------------------
+EventSink = Callable[[dict], None]
+
+
+class _Emitter:
+    """Sequence-numbered event fan-out that can never fail the sweep."""
+
+    def __init__(self, sink: Optional[EventSink]):
+        self.sink = sink
+        self.seq = 0
+
+    def __call__(self, event_type: str, **fields) -> None:
+        if self.sink is None:
+            return
+        self.seq += 1
+        event = {"v": EVENT_SCHEMA_VERSION, "seq": self.seq,
+                 "event": event_type}
+        event.update(fields)
+        try:
+            self.sink(event)
+        except Exception:
+            pass  # observability must never break the sweep
+
+
+class JsonlEventLog:
+    """Event sink appending one JSON object per line to ``path``.
+
+    Lines are flushed as written so a tailing consumer (dashboard, the
+    CLI progress display, ``tail -f``) sees events live.  Usable as a
+    context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def __call__(self, event: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL event stream.
+
+    A torn *final* line (a writer killed mid-append) is dropped; a torn
+    line anywhere else is corruption and raises ``ValueError``.
+    """
+    events: List[dict] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn tail from an interrupted writer
+            raise ValueError(
+                f"{path}:{lineno}: undecodable event line: {exc}"
+            ) from exc
+    return events
+
+
+def summarize_events(events: Sequence[dict]) -> dict:
+    """Aggregate a stream into point accounting + retry/failure counts.
+
+    ``missing`` lists point indices with no terminal event — non-empty
+    means the stream does not account for the whole grid (a crashed
+    service or a truncated artifact).
+    """
+    total = None
+    completed: Dict[int, dict] = {}
+    failed: Dict[int, dict] = {}
+    retried = 0
+    retry_kinds: Dict[str, int] = {}
+    sources: Dict[str, int] = {}
+    scheduled = 0
+    elapsed = None
+    for event in events:
+        kind = event.get("event")
+        if kind == "begin":
+            total = event.get("total")
+        elif kind == "scheduled":
+            scheduled += 1
+        elif kind == "completed":
+            completed[event["index"]] = event
+            source = event.get("source", "sim")
+            sources[source] = sources.get(source, 0) + 1
+        elif kind == "failed":
+            failed[event["index"]] = event
+        elif kind == "retried":
+            retried += 1
+            fk = event.get("kind", "transient")
+            retry_kinds[fk] = retry_kinds.get(fk, 0) + 1
+        elif kind == "end":
+            elapsed = event.get("seconds")
+    known = total if total is not None else (
+        max(list(completed) + list(failed), default=-1) + 1)
+    missing = sorted(set(range(known)) - set(completed) - set(failed))
+    return {
+        "total": known,
+        "completed": len(completed),
+        "failed": len(failed),
+        "missing": missing,
+        "scheduled": scheduled,
+        "retried": retried,
+        "retry_kinds": retry_kinds,
+        "sources": sources,
+        "failures": [
+            {"index": i, "label": f.get("label"),
+             "kind": f.get("kind"), "message": f.get("message")}
+            for i, f in sorted(failed.items())
+        ],
+        "seconds": elapsed,
+    }
+
+
+def format_events_summary(summary: dict) -> str:
+    """Human-readable form of :func:`summarize_events` (the CI step
+    summary / ``repro manifest events`` output)."""
+    lines = [
+        f"points:    {summary['total']}",
+        f"completed: {summary['completed']}"
+        + (f"  ({', '.join(f'{v} {k}' for k, v in sorted(summary['sources'].items()))})"
+           if summary["sources"] else ""),
+        f"failed:    {summary['failed']}",
+        f"retries:   {summary['retried']}"
+        + (f"  ({', '.join(f'{v} {k}' for k, v in sorted(summary['retry_kinds'].items()))})"
+           if summary["retry_kinds"] else ""),
+    ]
+    if summary["seconds"] is not None:
+        lines.append(f"wall:      {summary['seconds']:.1f}s")
+    for failure in summary["failures"]:
+        lines.append(f"  FAIL [{failure['index']}] {failure['label']}: "
+                     f"{failure['kind']}: {failure['message']}")
+    if summary["missing"]:
+        lines.append(f"  MISSING terminal events for point(s) "
+                     f"{summary['missing']} — stream does not account "
+                     "for the grid")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+class _Scheduler:
+    """Single-threaded (event-loop-confined) queue + result bookkeeping
+    shared by every shard."""
+
+    def __init__(self, state: "sweep_mod._SweepState",
+                 pending: Sequence[int], config: ServiceConfig,
+                 emit: _Emitter):
+        self.state = state
+        self.config = config
+        self.emit = emit
+        #: (ready_at, index, attempt) — retries re-enter with deadlines.
+        self.waiting: List[Tuple[float, int, int]] = [
+            (0.0, index, 1) for index in pending
+        ]
+        #: Points with no terminal outcome yet (waiting or in flight).
+        self.outstanding = set(pending)
+
+    @property
+    def finished(self) -> bool:
+        return not self.outstanding
+
+    def next_ready(self, now: float,
+                   shard: int) -> Optional[WorkUnit]:
+        """Pop the next unit whose retry deadline has passed."""
+        if not self.waiting:
+            return None
+        self.waiting.sort()
+        if self.waiting[0][0] > now:
+            return None
+        _, index, attempt = self.waiting.pop(0)
+        unit = WorkUnit(index, attempt, self.state.points[index])
+        self.emit("scheduled", index=index, label=unit.point.label,
+                  attempt=attempt, shard=shard)
+        return unit
+
+    def resolve(self, shard: int, unit: WorkUnit,
+                outcome: WorkOutcome) -> None:
+        """Apply one WorkOutcome: complete, retry, or fail the point.
+
+        Raises the terminal :class:`PointFailure` under fail-fast
+        (``keep_going=False``), exactly like the sweep engine.
+        """
+        index, attempt = unit.index, unit.attempt
+        point = self.state.points[index]
+        if outcome.status == OK:
+            stats = SimStats.from_state(outcome.stats_state)
+            if not self.config.inline:
+                # Process-pool workers counted/persisted on their side;
+                # mirror into this process, as sweep() does.  Inline
+                # units already ran (and counted) in this process.
+                runner.record_source(outcome.source)
+                if self.config.use_cache:
+                    runner.seed_cache(point.key(), stats,
+                                      outcome.miss_map)
+            self.outstanding.discard(index)
+            self.emit("completed", index=index, label=point.label,
+                      attempt=attempt, shard=shard,
+                      source=outcome.source,
+                      seconds=round(outcome.seconds, 4))
+            self.state.complete(index, SweepResult(
+                point, stats, outcome.miss_map, outcome.seconds,
+                outcome.source))
+            return
+        error = outcome.to_error(point.label)
+        if outcome.status in _TRANSIENT_STATUSES \
+                and attempt <= self.config.max_retries:
+            delay = backoff_delay(attempt, self.config.backoff_base,
+                                  point.key())
+            self.waiting.append((time.monotonic() + delay, index,
+                                 attempt + 1))
+            self.emit("retried", index=index, label=point.label,
+                      attempt=attempt, shard=shard,
+                      kind=outcome.status,
+                      next_attempt=attempt + 1,
+                      delay=round(delay, 4))
+            return
+        self.outstanding.discard(index)
+        self.emit("failed", index=index, label=point.label,
+                  attempts=attempt, shard=shard,
+                  kind=sweep_mod.PointFailure.from_error(
+                      point.label, index, error, attempt).kind,
+                  message=str(error))
+        self.state.fail(index, error, attempt)
+
+
+async def _shard_loop(shard: int, sched: _Scheduler,
+                      config: ServiceConfig, plan: Optional[FaultPlan],
+                      ctx, plan_json: Optional[str]) -> None:
+    """One shard: keep up to ``config.jobs`` workers busy until every
+    point (on any shard) has a terminal outcome."""
+    live: List[Tuple[object, WorkUnit]] = []
+    try:
+        while True:
+            now = time.monotonic()
+            while len(live) < config.jobs:
+                unit = sched.next_ready(now, shard)
+                if unit is None:
+                    break
+                if config.inline:
+                    task = asyncio.ensure_future(asyncio.to_thread(
+                        _execute_inline, unit, config.use_cache, plan))
+                    live.append((task, unit))
+                else:
+                    live.append((sweep_mod._spawn(
+                        ctx, unit.point, unit.index, unit.attempt,
+                        config.use_cache, plan_json), unit))
+            progressed = False
+            for entry in list(live):
+                worker, unit = entry
+                if config.inline:
+                    if not worker.done():
+                        continue
+                    outcome = worker.result()
+                else:
+                    message = sweep_mod._reap(worker,
+                                              config.point_timeout)
+                    if message is None:
+                        continue
+                    outcome = _outcome_from_reap(unit, message,
+                                                 unit.point.label)
+                live.remove(entry)
+                progressed = True
+                sched.resolve(shard, unit, outcome)
+            if not live and sched.finished:
+                return
+            if not progressed:
+                await asyncio.sleep(_POLL_SECONDS)
+    finally:
+        # Fail-fast, cancellation, or an unexpected scheduler error:
+        # reap this shard's in-flight workers so no orphan keeps
+        # simulating a doomed grid.
+        for worker, _unit in live:
+            if config.inline:
+                worker.cancel()
+            else:
+                worker.proc.terminate()
+        for worker, _unit in live:
+            if config.inline:
+                continue
+            worker.proc.join(5.0)
+            if worker.proc.is_alive():  # pragma: no cover
+                worker.proc.kill()
+                worker.proc.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+
+async def _serve(sched: _Scheduler, config: ServiceConfig,
+                 plan: Optional[FaultPlan]) -> None:
+    import multiprocessing
+
+    ctx = None if config.inline else multiprocessing.get_context()
+    plan_json = plan.to_json() if (plan and not config.inline) else None
+    tasks = [
+        asyncio.ensure_future(_shard_loop(
+            shard, sched, config, plan, ctx, plan_json))
+        for shard in range(config.shards)
+    ]
+    try:
+        await asyncio.gather(*tasks)
+    except BaseException:
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise
+
+
+def serve_sweep(
+    points: Sequence[SweepPoint],
+    config: Optional[ServiceConfig] = None,
+    events: Optional[EventSink] = None,
+    progress: Optional[ProgressFn] = _default_progress,
+    fault_plan: Optional[FaultPlan] = None,
+) -> SweepReport:
+    """Evaluate every point through the sharded service and return a
+    :class:`~repro.experiments.sweep.SweepReport`.
+
+    Semantics match :func:`repro.experiments.sweep.sweep` exactly —
+    warm points resolve in the parent without scheduling, transient
+    failures retry with deterministic backoff, ``keep_going`` selects
+    partial-result collection vs fail-fast — plus the progress-event
+    stream (``events``) documented in the module docstring.
+    """
+    points = list(points)
+    if config is None:
+        config = ServiceConfig()
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    emit = _Emitter(events)
+    state = sweep_mod._SweepState(points, progress, config.keep_going)
+
+    pending: List[int] = []
+    cached: List[Tuple[int, SweepResult]] = []
+    if config.use_cache:
+        for index, point in enumerate(points):
+            start = time.perf_counter()
+            hit = runner.peek_cached(point.key())
+            if hit is None:
+                pending.append(index)
+                continue
+            stats, miss_map, source = hit
+            runner.record_source(source)
+            cached.append((index, SweepResult(
+                point, stats, miss_map,
+                time.perf_counter() - start, source)))
+    else:
+        pending = list(range(len(points)))
+
+    emit("begin", total=len(points), cached=len(cached),
+         shards=config.shards, jobs=config.jobs,
+         inline=config.inline)
+    for index, result in cached:
+        emit("completed", index=index, label=result.point.label,
+             attempt=0, shard=None, source=result.source,
+             seconds=round(result.seconds, 4))
+        state.complete(index, result)
+
+    started = time.monotonic()
+    try:
+        if pending:
+            sched = _Scheduler(state, pending, config, emit)
+            asyncio.run(_serve(sched, config, fault_plan))
+    finally:
+        emit("end",
+             completed=sum(1 for r in state.results if r is not None),
+             failed=len(state.failures),
+             seconds=round(time.monotonic() - started, 4))
+    return state.report()

@@ -1,0 +1,320 @@
+"""The sharded sweep service (docs/SWEEP_SERVICE.md).
+
+Contracts under test:
+
+* service sweeps are bit-identical to a serial ``sweep()`` of the same
+  points (real worker processes and the inline thread path alike);
+* the WorkUnit/WorkOutcome protocol round-trips through its flat spec
+  form (the remote-worker seam);
+* the JSONL progress stream accounts for every point — scheduled,
+  completed (cache hits included), retried, failed;
+* the PR-4 retry/backoff/keep-going semantics ride along unchanged;
+* the ISSUE acceptance grid: a 1,200-point manifest completes through
+  the service under injected crash/hang/truncate faults, survivors
+  bit-identical to the fault-free serial run.
+"""
+
+import hashlib
+import importlib
+import json
+
+import pytest
+
+from repro.cpu.stats import SimStats
+from repro.experiments import diskcache, runner
+from repro.experiments.errors import PointFailure
+from repro.experiments.faults import CRASH, ERROR, HANG, Fault, FaultPlan
+from repro.experiments.manifest import parse_manifest
+from repro.experiments.service import (
+    JsonlEventLog,
+    ServiceConfig,
+    WorkOutcome,
+    WorkUnit,
+    format_events_summary,
+    read_events,
+    serve_sweep,
+    summarize_events,
+)
+from repro.experiments.sweep import SweepPoint, sweep
+
+sweep_mod = importlib.import_module("repro.experiments.sweep")
+
+WORKLOAD = "mysql_sibench"
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    """A private disk-cache root for one test, restored afterwards."""
+    previous = diskcache.set_cache_dir(tmp_path)
+    runner.clear_run_cache()
+    runner.reset_run_cache_stats()
+    yield tmp_path
+    runner.clear_run_cache()
+    diskcache.set_cache_dir(previous)
+
+
+def _points():
+    return [SweepPoint(WORKLOAD, None, scale="tiny"),
+            SweepPoint(WORKLOAD, "eip", scale="tiny")]
+
+
+def _states(report):
+    return [r.stats.state_dict() for r in report]
+
+
+_CLEAN = None
+
+
+def _clean_states():
+    """Fault-free serial reference states (computed once)."""
+    global _CLEAN
+    if _CLEAN is None:
+        report = sweep(_points(), use_cache=False, progress=None,
+                       fault_plan=FaultPlan())
+        assert report.ok
+        _CLEAN = _states(report)
+    return _CLEAN
+
+
+# ----------------------------------------------------------------------
+# Protocol round-trips
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_work_unit_spec_round_trip(self):
+        unit = WorkUnit(3, 2, SweepPoint(WORKLOAD, "eip", scale="tiny",
+                                         seed=7))
+        spec = json.loads(json.dumps(unit.to_spec()))
+        again = WorkUnit.from_spec(spec)
+        assert again == unit
+        assert again.point.key() == unit.point.key()
+
+    def test_work_outcome_spec_round_trip(self):
+        for outcome in (
+            WorkOutcome(0, 1, "ok", stats_state={"instructions": 5},
+                        source="sim", seconds=1.5),
+            WorkOutcome(1, 2, "crash", exitcode=73, message="died"),
+            WorkOutcome(2, 3, "timeout", timeout=10.0, message="slow"),
+            WorkOutcome(3, 1, "transient", message="flaky"),
+        ):
+            spec = json.loads(json.dumps(outcome.to_spec()))
+            assert WorkOutcome.from_spec(spec) == outcome
+
+    def test_outcome_errors_follow_taxonomy(self):
+        from repro.experiments.errors import (
+            PointTimeoutError,
+            TransientError,
+            WorkerCrashError,
+        )
+
+        assert isinstance(WorkOutcome(0, 1, "crash").to_error("x"),
+                          WorkerCrashError)
+        assert isinstance(WorkOutcome(0, 1, "timeout").to_error("x"),
+                          PointTimeoutError)
+        assert isinstance(WorkOutcome(0, 1, "transient").to_error("x"),
+                          TransientError)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(shards=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity with the serial engine (real simulations)
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    def test_process_mode_matches_serial(self, cache_dir, tmp_path):
+        events = tmp_path / "events.jsonl"
+        with JsonlEventLog(events) as log:
+            report = serve_sweep(
+                _points(),
+                ServiceConfig(shards=2, jobs=1, use_cache=False),
+                events=log, progress=None, fault_plan=FaultPlan())
+        assert report.ok
+        assert _states(report) == _clean_states()
+        summary = summarize_events(read_events(events))
+        assert summary["total"] == 2
+        assert summary["completed"] == 2 and summary["missing"] == []
+        assert summary["scheduled"] == 2
+
+    def test_crash_fault_retried_bit_identical(self, cache_dir, tmp_path):
+        events = tmp_path / "events.jsonl"
+        plan = FaultPlan([Fault(CRASH, f"{WORKLOAD}/eip", times=1)])
+        with JsonlEventLog(events) as log:
+            report = serve_sweep(
+                _points(),
+                ServiceConfig(shards=2, jobs=1, use_cache=False),
+                events=log, progress=None, fault_plan=plan)
+        assert report.ok
+        assert _states(report) == _clean_states()
+        summary = summarize_events(read_events(events))
+        assert summary["retried"] == 1
+        assert summary["retry_kinds"] == {"crash": 1}
+
+    def test_warm_points_resolve_without_scheduling(self, cache_dir,
+                                                    tmp_path):
+        sweep(_points(), progress=None, fault_plan=FaultPlan())
+        runner.clear_run_cache()  # drop memory layer; keep disk
+        events = tmp_path / "events.jsonl"
+        with JsonlEventLog(events) as log:
+            report = serve_sweep(_points(), ServiceConfig(shards=2),
+                                 events=log, progress=None,
+                                 fault_plan=FaultPlan())
+        assert report.ok
+        assert _states(report) == _clean_states()
+        raw = read_events(events)
+        assert all(e["event"] != "scheduled" for e in raw)
+        completed = [e for e in raw if e["event"] == "completed"]
+        assert {e["source"] for e in completed} == {"disk"}
+        assert all(e["shard"] is None for e in completed)
+
+    def test_fail_fast_raises_point_failure(self, cache_dir):
+        plan = FaultPlan([Fault(ERROR, f"{WORKLOAD}/eip")])  # persistent
+        with pytest.raises(PointFailure) as exc:
+            serve_sweep(_points(),
+                        ServiceConfig(shards=2, jobs=1, use_cache=False,
+                                      max_retries=0, backoff_base=0.0),
+                        progress=None, fault_plan=plan)
+        assert exc.value.kind == "transient"
+
+
+# ----------------------------------------------------------------------
+# Event stream mechanics
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        path.write_text('{"event": "begin", "total": 1}\n{"event": "co')
+        assert read_events(path) == [{"event": "begin", "total": 1}]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        path.write_text('{"event": "b\n{"event": "end"}\n')
+        with pytest.raises(ValueError, match="undecodable"):
+            read_events(path)
+
+    def test_missing_points_detected(self):
+        summary = summarize_events([
+            {"event": "begin", "total": 3},
+            {"event": "completed", "index": 0, "source": "sim"},
+            {"event": "failed", "index": 2, "kind": "timeout",
+             "label": "x", "message": "m"},
+        ])
+        assert summary["missing"] == [1]
+        assert summary["completed"] == 1 and summary["failed"] == 1
+        assert "MISSING" in format_events_summary(summary)
+
+    def test_sink_exceptions_never_break_the_sweep(self, cache_dir):
+        def exploding_sink(event):
+            raise RuntimeError("sink down")
+
+        report = serve_sweep(
+            _points(), ServiceConfig(shards=1, jobs=1, use_cache=False),
+            events=exploding_sink, progress=None, fault_plan=FaultPlan())
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# The 1,200-point acceptance grid (fake executor: the scheduler,
+# retry engine, cache layers, and event stream are all real — only the
+# simulation itself is synthesized, deterministically per point key)
+# ----------------------------------------------------------------------
+def _fake_run_serial(point, use_cache):
+    digest = hashlib.sha256(point.key().encode("utf-8")).hexdigest()
+    stats = SimStats()
+    stats.instructions = int(digest[:12], 16)
+    stats.blocks = int(digest[12:20], 16)
+    stats.cycles = float(int(digest[20:28], 16) % 99991) + 1.0
+    if use_cache:
+        runner.seed_cache(point.key(), stats, None)
+        runner._disk_store(point.key(), stats, None)
+    return stats, None, "sim", 0.001
+
+
+def _acceptance_manifest():
+    from repro.workloads.suite import ALL_WORKLOAD_NAMES
+
+    return parse_manifest({"sweep": {
+        "name": "acceptance",
+        "workloads": list(ALL_WORKLOAD_NAMES),
+        "prefetchers": ["efetch", "mana", "eip", "hierarchical"],
+        "policies": ["lru", "lip", "bip", "pf_aware"],
+        "seeds": [1, 2, 3, 4],
+        "scale": "tiny",
+    }})
+
+
+class TestAcceptanceScale:
+    def test_thousand_point_manifest_through_the_service(
+            self, cache_dir, tmp_path, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "_run_serial", _fake_run_serial)
+        manifest = _acceptance_manifest()
+        points = manifest.expand()
+        assert len(points) == 1200
+
+        # Fault-free serial reference (the bit-identity baseline).
+        reference = sweep(points, use_cache=False, progress=None,
+                          fault_plan=FaultPlan())
+        assert reference.ok
+        ref = {r.point.key(): r.stats.state_dict() for r in reference}
+        assert len(ref) == 1200
+
+        # Crash, hang, transient, and truncate faults sprinkled over
+        # the grid, plus one persistent hang that must fail.
+        plan = FaultPlan([
+            Fault(CRASH, 0, times=1),
+            Fault(CRASH, 451, times=1),
+            Fault(ERROR, 17, times=1),
+            Fault(HANG, 123, times=1),
+            Fault("truncate", 777, times=1),
+            Fault("truncate", 778, times=1),
+            Fault(HANG, 999),  # persistent: every attempt hangs
+        ])
+        events = tmp_path / "acceptance.jsonl"
+        with JsonlEventLog(events) as log:
+            report = serve_sweep(
+                points,
+                ServiceConfig(shards=4, jobs=8, inline=True,
+                              keep_going=True, backoff_base=0.0),
+                events=log, progress=None, fault_plan=plan)
+
+        # Survivors: everything except the persistently hung point,
+        # each bit-identical to the fault-free serial run.
+        assert len(report) == 1199
+        for result in report:
+            assert result.stats.state_dict() == ref[result.point.key()], \
+                result.point.key()
+        (failure,) = report.failures
+        assert failure.kind == "timeout" and failure.index == 999
+
+        # The stream accounts for every one of the 1200 points.
+        summary = summarize_events(read_events(events))
+        assert summary["total"] == 1200
+        assert summary["completed"] == 1199
+        assert summary["failed"] == 1 and summary["missing"] == []
+        # 4 flaky exec faults retried once each + 2 retries of the
+        # persistent hang (attempts 1 and 2 re-enter; attempt 3 fails).
+        assert summary["retried"] == 6
+        assert summary["retry_kinds"]["timeout"] == 3
+
+        # Warm re-run: the torn entries must be quarantined and
+        # re-simulated; everything else resolves from the disk cache.
+        runner.clear_run_cache()  # memory layer only; disk survives
+        runner.reset_run_cache_stats()
+        events2 = tmp_path / "warm.jsonl"
+        with JsonlEventLog(events2) as log:
+            again = serve_sweep(
+                points,
+                ServiceConfig(shards=4, jobs=8, inline=True,
+                              keep_going=True, backoff_base=0.0),
+                events=log, progress=None, fault_plan=FaultPlan())
+        assert again.ok and len(again) == 1200
+        for result in again:
+            assert result.stats.state_dict() == ref[result.point.key()]
+        summary2 = summarize_events(read_events(events2))
+        assert summary2["completed"] == 1200 and summary2["missing"] == []
+        # 1197 disk hits; 777/778 (torn) + 999 (never cached) re-ran.
+        assert summary2["sources"]["disk"] == 1197
+        assert summary2["sources"]["sim"] == 3
+        assert runner.run_cache_stats().cache_corrupt == 2
