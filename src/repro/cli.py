@@ -7,10 +7,13 @@ Subcommands::
     repro compare WORKLOAD           run the paper's comparison set
     repro sweep [WORKLOAD...]        parallel cached grid (--jobs N)
     repro sweep --manifest F.toml    declarative grid via the sharded
-                                     sweep service (--shards N)
+                                     sweep service (--shards N),
+                                     journaled; --resume [RUN_ID]
+                                     continues an interrupted run
     repro manifest validate F...     check sweep manifests
     repro manifest expand F          show a manifest's expanded points
-    repro manifest events F.jsonl    summarize a progress event stream
+    repro manifest events F|DIR      summarize a progress event stream
+                                     or run journal (--follow to tail)
     repro cache info|compact|clear   on-disk result cache maintenance
     repro probe WORKLOAD             interval IPC/MPKI/accuracy timelines
     repro bench [NAME...]            performance microbenchmarks
@@ -159,7 +162,7 @@ def cmd_sweep(args) -> int:
     import time
 
     from repro.experiments import runner
-    from repro.experiments.errors import PointFailure
+    from repro.experiments.errors import PointFailure, SweepInterrupted
     from repro.experiments.sweep import grid, sweep
 
     if args.clear_cache:
@@ -212,14 +215,36 @@ def cmd_sweep(args) -> int:
             points = grid(workloads, args.prefetchers, scale=args.scale,
                           seed=args.seed, warmup=args.warmup)
     use_service = args.manifest is not None or args.shards is not None
+    if args.resume is not None and not use_service:
+        print("--resume requires --manifest or --shards (only "
+              "journaled service sweeps can be resumed)",
+              file=sys.stderr)
+        return 2
+    if args.resume is not None and args.no_cache:
+        print("--resume needs the disk cache: the journal records "
+              "which points completed, the cache holds their results",
+              file=sys.stderr)
+        return 2
+
+    def _resume_hint(run_id: Optional[str]) -> str:
+        base = "repro sweep"
+        if args.manifest:
+            base += f" --manifest {args.manifest}"
+        elif args.shards is not None:
+            base += f" --shards {args.shards}"
+        return f"{base} --resume" + (f" {run_id}" if run_id else "")
+
     before = runner.run_cache_stats()
     start = time.perf_counter()
+    journal = None
     try:
         if use_service:
+            from pathlib import Path
+
+            from repro.experiments.journal import JournalError, run_sweep
             from repro.experiments.service import (
                 JsonlEventLog,
                 ServiceConfig,
-                serve_sweep,
             )
 
             config = ServiceConfig(
@@ -229,13 +254,33 @@ def cmd_sweep(args) -> int:
                 point_timeout=args.point_timeout,
                 keep_going=args.keep_going,
             )
+            log = JsonlEventLog(args.events) if args.events else None
+            try:
+                report, journal = run_sweep(
+                    points, config, events=log, progress=print,
+                    resume=args.resume is not None,
+                    run_id=args.resume or None,
+                    run_root=(Path(args.run_dir)
+                              if args.run_dir else None),
+                    handle_signals=True,
+                    extra_meta=({"manifest": args.manifest}
+                                if args.manifest else None),
+                )
+            except JournalError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            finally:
+                if log is not None:
+                    log.close()
             if args.events:
-                with JsonlEventLog(args.events) as log:
-                    report = serve_sweep(points, config, events=log,
-                                         progress=print)
                 print(f"progress events -> {args.events}")
-            else:
-                report = serve_sweep(points, config, progress=print)
+            print(f"run journal {journal.run_id} "
+                  f"(segment {journal.segment}) -> {journal.run_dir}")
+            if args.resume is not None:
+                print(f"resumed: {journal.replay_preresolved} "
+                      f"completed point(s) replayed from the journal, "
+                      f"{journal.replay_poisoned} poisoned point(s) "
+                      "quarantined")
         else:
             report = sweep(
                 points, jobs=args.jobs, use_cache=not args.no_cache,
@@ -243,10 +288,28 @@ def cmd_sweep(args) -> int:
                 point_timeout=args.point_timeout,
                 keep_going=args.keep_going,
             )
+    except SweepInterrupted as exc:
+        done = len(exc.report.results) if exc.report else 0
+        print(f"\nsweep interrupted: {done}/{len(points)} point(s) "
+              "resolved; in-flight workers reaped, completed points "
+              "journaled", file=sys.stderr)
+        print(f"resume with: {_resume_hint(exc.run_id)}",
+              file=sys.stderr)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        # The serial/parallel engine has no journal: nothing to
+        # resume, but exit like an interrupted shell command instead
+        # of spraying a traceback.
+        print("\nsweep interrupted (no journal in --jobs mode; "
+              "re-run to continue from the disk cache)",
+              file=sys.stderr)
+        return 130
     except PointFailure as failure:
         print(f"sweep aborted: {failure} "
               "(use --keep-going to collect partial results)",
               file=sys.stderr)
+        if journal is not None:
+            print(f"run journal: {journal.run_dir}", file=sys.stderr)
         return 1
     elapsed = time.perf_counter() - start
     results = report.results
@@ -321,6 +384,7 @@ def cmd_sweep(args) -> int:
     disk = s.disk_hits - before.disk_hits
     memory = s.memory_hits - before.memory_hits
     corrupt = s.cache_corrupt - before.cache_corrupt
+    refused = s.write_refusals - before.write_refusals
     lane = (f"--shards {args.shards or 2} --jobs {args.jobs}"
             if use_service else f"--jobs {args.jobs}")
     summary = (f"\n{len(results)}/{len(points)} points in {elapsed:.1f}s "
@@ -328,6 +392,9 @@ def cmd_sweep(args) -> int:
                f"{disk} disk hits, {memory} memory hits")
     if corrupt:
         summary += f", {corrupt} corrupt cache entries quarantined"
+    if refused:
+        summary += (f", {refused} cache write(s) refused "
+                    "(volume nearly full)")
     print(summary)
     if report.failures:
         print(f"\n{len(report.failures)} point(s) failed after retries:",
@@ -583,20 +650,44 @@ def cmd_manifest(args) -> int:
                  if manifest.sample else ""))
         return 0
 
-    # action == "events": summarize a service JSONL progress stream.
+    # action == "events": summarize (or tail) a service JSONL progress
+    # stream — one file, or a run-journal directory whose segments are
+    # joined and seq-deduplicated.
+    from pathlib import Path
+
+    from repro.experiments.journal import read_run_events
     from repro.experiments.service import (
+        follow_events,
         format_events_summary,
         read_events,
         summarize_events,
     )
 
+    target = Path(args.files[0])
+    if args.follow:
+        import json
+
+        path = target
+        if target.is_dir():
+            segments = sorted(target.glob("events-*.jsonl"))
+            path = (segments[-1] if segments
+                    else target / "events-0001.jsonl")
+        try:
+            for event in follow_events(path):
+                print(json.dumps(event, sort_keys=True), flush=True)
+        except KeyboardInterrupt:
+            return 130
+        return 0
     try:
-        summary = summarize_events(read_events(args.files[0]))
+        events = (read_run_events(target) if target.is_dir()
+                  else read_events(target))
+        summary = summarize_events(events)
     except (OSError, ValueError) as exc:
         print(f"{args.files[0]}: {exc}", file=sys.stderr)
         return 2
     print(format_events_summary(summary))
-    if args.check and (summary["failed"] or summary["missing"]):
+    if args.check and (summary["failed"] or summary["missing"]
+                       or summary["duplicates"]):
         return 1
     return 0
 
@@ -613,6 +704,12 @@ def cmd_cache(args) -> int:
                   f"{s['legacy']} legacy flat, {s['quarantined']} "
                   f"quarantined, {s['shard_dirs']} shard dir(s) "
                   f"[{s['root']}]")
+        s = cache.stats()
+        if s["free_bytes"] is not None:
+            floor = s["min_free_bytes"]
+            print(f"volume: {s['free_bytes'] / 1e6:.0f} MB free "
+                  f"(writes refused below {floor / 1e6:.0f} MB; "
+                  "REPRO_CACHE_MIN_FREE)")
         return 0
     if args.action == "compact":
         for title, store in (("results", cache), ("warmup", warmup)):
@@ -723,6 +820,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="stream JSONL progress events (scheduled/"
                          "completed/retried/failed) to FILE; service "
                          "mode only")
+    sw.add_argument("--resume", nargs="?", const="", default=None,
+                    metavar="RUN_ID",
+                    help="service mode: resume an interrupted journaled "
+                         "run — completed points replay from journal + "
+                         "cache, poison points are quarantined "
+                         "(default: the grid's most recent run)")
+    sw.add_argument("--run-dir", default=None, metavar="DIR",
+                    help="run-journal root (default: <cache root>/runs "
+                         "or REPRO_RUN_DIR)")
     _add_scale(sw)
 
     man = sub.add_parser(
@@ -733,14 +839,19 @@ def build_parser() -> argparse.ArgumentParser:
     man.add_argument("action", choices=("validate", "expand", "events"),
                      help="validate FILES... | expand FILE | events FILE")
     man.add_argument("files", nargs="+", metavar="FILE",
-                     help="manifest file(s), or one JSONL event stream "
-                          "for 'events'")
+                     help="manifest file(s); for 'events' one JSONL "
+                          "stream or a run-journal directory (segments "
+                          "joined)")
     man.add_argument("--json", action="store_true",
                      help="expand: emit the canonical manifest + points "
                           "as JSON")
     man.add_argument("--check", action="store_true",
                      help="events: exit 1 when the stream records "
-                          "failures or unaccounted points")
+                          "failures, unaccounted points, or duplicate "
+                          "terminal events")
+    man.add_argument("--follow", action="store_true",
+                     help="events: tail the stream live (JSONL to "
+                          "stdout), returning after its end record")
 
     cache = sub.add_parser(
         "cache",

@@ -23,9 +23,12 @@ from repro.experiments.runner import (
 )
 from repro.experiments.errors import (
     CorruptArtifactError,
+    DiskFullError,
     ExperimentError,
     PointFailure,
     PointTimeoutError,
+    ShardDiedError,
+    SweepInterrupted,
     TransientError,
     WorkerCrashError,
 )
@@ -52,9 +55,19 @@ from repro.experiments.slo import (
     slo_sweep,
     tab05_slo_summary,
 )
+from repro.experiments.journal import (
+    JournalError,
+    RunJournal,
+    grid_fingerprint,
+    list_runs,
+    read_run_events,
+    run_sweep,
+)
 from repro.experiments.service import (
     JsonlEventLog,
     ServiceConfig,
+    ShutdownRequest,
+    follow_events,
     read_events,
     serve_sweep,
     summarize_events,
@@ -83,6 +96,9 @@ __all__ = [
     "WorkerCrashError",
     "PointTimeoutError",
     "CorruptArtifactError",
+    "DiskFullError",
+    "ShardDiedError",
+    "SweepInterrupted",
     "PointFailure",
     "Fault",
     "FaultPlan",
@@ -99,9 +115,17 @@ __all__ = [
     "parse_manifest",
     "ServiceConfig",
     "JsonlEventLog",
+    "ShutdownRequest",
     "serve_sweep",
     "read_events",
+    "follow_events",
     "summarize_events",
+    "JournalError",
+    "RunJournal",
+    "grid_fingerprint",
+    "list_runs",
+    "read_run_events",
+    "run_sweep",
     "SLO_PREFETCHERS",
     "slo_sweep",
     "fig18_slo_grid",

@@ -45,6 +45,13 @@ Environment knobs:
     Cache root (default ``~/.cache/repro-hp/sim``).
 ``REPRO_DISK_CACHE``
     Set to ``0``/``off``/``false`` to disable persistence entirely.
+``REPRO_CACHE_MIN_FREE``
+    Free-space floor in bytes (default 32 MiB): writes that would land
+    on a volume with less headroom than this (or than twice the entry
+    size, whichever is larger) are *refused* — reported to the
+    corruption listeners as a
+    :class:`~repro.experiments.errors.DiskFullError` — rather than
+    risk torn writes racing ENOSPC.  ``0`` disables the guard.
 """
 
 from __future__ import annotations
@@ -54,11 +61,12 @@ import hashlib
 import os
 import pickle
 import re
+import shutil
 import tempfile
 from pathlib import Path
 from typing import Callable, Iterator, List, Optional
 
-from repro.experiments.errors import CorruptArtifactError
+from repro.experiments.errors import CorruptArtifactError, DiskFullError
 
 #: Bump whenever the payload layout or the meaning of cached counters
 #: changes; old entries are then ignored (and lazily overwritten).
@@ -74,6 +82,23 @@ _SHARD_DIR = re.compile(r"^[0-9a-f]{2}$")
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_DISK_CACHE"
+_ENV_MIN_FREE = "REPRO_CACHE_MIN_FREE"
+
+#: Default free-space floor for cache writes (bytes).
+DEFAULT_MIN_FREE_BYTES = 32 * 1024 * 1024
+
+
+def min_free_bytes() -> int:
+    """The configured free-space floor (``REPRO_CACHE_MIN_FREE``),
+    falling back to :data:`DEFAULT_MIN_FREE_BYTES` when unset or
+    unparsable.  ``0`` disables the disk-space guard."""
+    raw = os.environ.get(_ENV_MIN_FREE, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_MIN_FREE_BYTES
 
 #: Callables invoked with a :class:`CorruptArtifactError` each time any
 #: DiskCache instance quarantines a file (runner uses this to surface a
@@ -121,6 +146,8 @@ class DiskCache:
         self.root = Path(root)
         #: Files this instance has quarantined since construction.
         self.corrupt_count = 0
+        #: Writes this instance refused for lack of disk headroom.
+        self.refused_writes = 0
 
     def path_for(self, key: str) -> Path:
         digest = key_digest(key)
@@ -243,6 +270,13 @@ class DiskCache:
         entry under a live name.  Write failures (read-only FS, disk
         full) are swallowed: the cache is an accelerator, never a
         correctness dependency.
+
+        When the volume's free space is below the configured floor
+        (:func:`min_free_bytes`, or twice the entry size if larger)
+        the write is **refused** before any bytes land: corruption
+        listeners get a :class:`~repro.experiments.errors.
+        DiskFullError` and the caller sees nothing — better no entry
+        than a torn one fighting ENOSPC.
         """
         path = self.path_for(key)
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -252,6 +286,8 @@ class DiskCache:
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            if self._refuse_if_full(path, len(blob)):
+                return
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
@@ -268,6 +304,31 @@ class DiskCache:
                 raise
         except OSError:
             pass
+
+    def _refuse_if_full(self, path: Path, blob_size: int) -> bool:
+        """True when the write at ``path`` must be refused for lack of
+        disk headroom (listeners have been notified)."""
+        floor = min_free_bytes()
+        if floor <= 0:
+            return False
+        needed = max(floor, 2 * blob_size)
+        try:
+            free = shutil.disk_usage(path.parent).free
+        except OSError:
+            return False  # cannot measure: fall through to the write
+        if free >= needed:
+            return False
+        self.refused_writes += 1
+        error = DiskFullError(
+            path,
+            f"write refused: {free} bytes free < {needed} required",
+            free_bytes=free, needed_bytes=needed)
+        for listener in list(_CORRUPTION_LISTENERS):
+            try:
+                listener(error)
+            except Exception:
+                pass  # observability must never break the cache
+        return True
 
     # -- maintenance ---------------------------------------------------
     def entries(self) -> Iterator[Path]:
@@ -326,6 +387,12 @@ class DiskCache:
         shards = [d for d in self.root.iterdir()
                   if d.is_dir() and _SHARD_DIR.match(d.name)] \
             if self.root.is_dir() else []
+        try:
+            free = shutil.disk_usage(
+                self.root if self.root.is_dir()
+                else self.root.parent).free
+        except OSError:
+            free = None
         return {
             "root": str(self.root),
             "entries": len(entries),
@@ -334,6 +401,8 @@ class DiskCache:
             "legacy": len(legacy),
             "quarantined": sum(1 for _ in self.quarantined()),
             "shard_dirs": len(shards),
+            "free_bytes": free,
+            "min_free_bytes": min_free_bytes(),
         }
 
     def compact(self, purge_quarantined: bool = True) -> "CompactReport":

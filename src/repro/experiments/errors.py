@@ -20,6 +20,19 @@ be handled.  The hierarchy encodes the policy:
     the entry is quarantined, the failure is reported through
     :func:`repro.experiments.diskcache.add_corruption_listener`, and
     the caller sees a plain cache miss.
+``DiskFullError``
+    The cache *refused* a write because the volume is nearly full —
+    better no entry than a torn one fighting ENOSPC.  Reported through
+    the same listener channel, never raised to the caller.
+``ShardDiedError``
+    A whole shard pool (not one point) died or stalled; the service's
+    watchdog requeues its in-flight units and restarts or retires the
+    pool — see :mod:`repro.experiments.service`.
+``SweepInterrupted``
+    A graceful shutdown (SIGINT/SIGTERM or an explicit stop request)
+    drained the scheduler mid-run.  Carries the partial
+    ``SweepReport`` and, when a run journal is active, the run id to
+    resume from.
 ``PointFailure``
     The terminal record for one sweep point that could not be
     completed after retries.  Collected into
@@ -44,6 +57,9 @@ __all__ = [
     "WorkerCrashError",
     "PointTimeoutError",
     "CorruptArtifactError",
+    "DiskFullError",
+    "ShardDiedError",
+    "SweepInterrupted",
     "PointFailure",
     "backoff_delay",
 ]
@@ -96,6 +112,61 @@ class CorruptArtifactError(ExperimentError):
         #: Where the bad file was moved (``<name>.corrupt``), or None
         #: when the move itself failed and the file was deleted/left.
         self.quarantined_to = quarantined_to
+
+
+class DiskFullError(CorruptArtifactError):
+    """A cache write was *refused* because the volume is nearly full.
+
+    Subclasses :class:`CorruptArtifactError` so it reaches the same
+    corruption listeners (the refusal is an artifact-integrity event:
+    the alternative is a torn write racing ENOSPC), but nothing was
+    quarantined — the entry simply was not written.
+    """
+
+    def __init__(self, path: Union[str, Path], reason: str,
+                 free_bytes: int = 0, needed_bytes: int = 0):
+        super().__init__(path, reason)
+        self.free_bytes = free_bytes
+        self.needed_bytes = needed_bytes
+
+
+class ShardDiedError(ExperimentError):
+    """A shard pool (a whole supervision loop, not one point) died or
+    stalled past the watchdog timeout.  The service requeues the
+    shard's in-flight units and restarts or retires the pool; only when
+    no pool can be kept alive does this escape to the caller."""
+
+    def __init__(self, message: str, shard: Optional[int] = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class SweepInterrupted(ExperimentError):
+    """A sweep was shut down gracefully before completing.
+
+    Raised by :func:`repro.experiments.service.serve_sweep` after a
+    SIGINT/SIGTERM (or an explicit shutdown request) drained the
+    scheduler: in-flight workers are reaped, completed points are kept
+    on ``report``, and — when a run journal is active — ``run_id``
+    names the run to pass to ``repro sweep --resume``.
+    """
+
+    def __init__(self, message: str, report=None,
+                 signum: Optional[int] = None,
+                 run_id: Optional[str] = None):
+        super().__init__(message)
+        #: Partial :class:`~repro.experiments.sweep.SweepReport`.
+        self.report = report
+        #: The signal that triggered the shutdown, when one did.
+        self.signum = signum
+        #: Journal run id to resume from, when journaling was active.
+        self.run_id = run_id
+
+    @property
+    def exit_code(self) -> int:
+        """Conventional shell exit status (128 + signal, default
+        SIGINT's 130)."""
+        return 128 + (self.signum if self.signum else 2)
 
 
 #: Failure kinds recorded on :class:`PointFailure`.

@@ -26,11 +26,29 @@ Fault kinds
     After the point completes and persists its result, its on-disk
     cache entry is truncated / has one byte flipped — exercising the
     checksum-and-quarantine path on the next read.
+``shard_kill``
+    Scheduler-layer: the shard pool whose index is ``point`` raises
+    :class:`~repro.experiments.errors.ShardDiedError` when it claims
+    its ``after``-th work unit, exercising the service watchdog
+    (requeue + pool restart / width shrink).  ``times`` bounds how
+    many pool *incarnations* die (``times=1`` = the restarted pool
+    survives).
+``parent_signal``
+    Scheduler-layer: when the service has resolved ``point`` terminal
+    outcomes in this process, ``signum`` (default SIGTERM) is sent to
+    the parent itself — deterministic mid-run interruption for the
+    graceful-shutdown and resume paths.
+``torn_journal``
+    Journal-layer: when run-journal segment number ``point`` closes,
+    its tail is truncated — a fsync'd-but-killed writer, exercising
+    torn-tail recovery on replay.
 
-Targeting: ``point`` matches either the point's input index or its
-``workload/prefetcher`` label.  ``times`` bounds how many *attempts*
-are affected (``times=1`` = fail once, succeed on retry; omitted =
-every attempt, a persistent fault).
+Targeting: for point-level kinds ``point`` matches either the point's
+input index or its ``workload/prefetcher`` label; for the scheduler/
+journal kinds above it is a shard index, a resolved-outcome count, or
+a segment number.  ``times`` bounds how many *attempts* (or pool
+incarnations) are affected (``times=1`` = fail once, succeed on
+retry; omitted = every attempt, a persistent fault).
 
 Activation: pass ``sweep(..., fault_plan=FaultPlan(...))``, or set
 ``REPRO_FAULT_PLAN`` to inline JSON (``{"faults": [...]}``) or to the
@@ -48,7 +66,9 @@ from typing import Optional, Sequence, Tuple, Union
 
 __all__ = [
     "CRASH", "HANG", "ERROR", "TRUNCATE", "BITFLIP",
-    "EXEC_KINDS", "CACHE_KINDS", "CRASH_EXIT_CODE", "ENV_PLAN",
+    "SHARD_KILL", "PARENT_SIGNAL", "TORN_JOURNAL",
+    "EXEC_KINDS", "CACHE_KINDS", "SCHED_KINDS", "JOURNAL_KINDS",
+    "CRASH_EXIT_CODE", "ENV_PLAN",
     "Fault", "FaultPlan", "corrupt_file", "corrupt_cache_entry",
 ]
 
@@ -57,11 +77,18 @@ HANG = "hang"
 ERROR = "error"
 TRUNCATE = "truncate"
 BITFLIP = "bitflip"
+SHARD_KILL = "shard_kill"
+PARENT_SIGNAL = "parent_signal"
+TORN_JOURNAL = "torn_journal"
 
 #: Faults applied before the point executes (worker-side).
 EXEC_KINDS = frozenset((CRASH, HANG, ERROR))
 #: Faults applied to the point's persisted cache entry afterwards.
 CACHE_KINDS = frozenset((TRUNCATE, BITFLIP))
+#: Scheduler-layer faults (shard pools / the parent process itself).
+SCHED_KINDS = frozenset((SHARD_KILL, PARENT_SIGNAL))
+#: Run-journal faults (torn segment tails).
+JOURNAL_KINDS = frozenset((TORN_JOURNAL,))
 
 #: Exit code used by injected worker crashes — distinctive enough that
 #: a test can tell an injected crash from a genuine interpreter death.
@@ -84,12 +111,26 @@ class Fault:
     seconds: float = 30.0
     #: ``bitflip`` only: byte offset (modulo file size) to flip.
     offset: int = 0
+    #: ``shard_kill`` only: the pool dies when it claims its
+    #: ``after``-th work unit of one incarnation.
+    after: int = 1
+    #: ``parent_signal`` only: the signal number to send (SIGTERM).
+    signum: int = 15
 
     def __post_init__(self) -> None:
-        if self.kind not in EXEC_KINDS | CACHE_KINDS:
+        if self.kind not in (EXEC_KINDS | CACHE_KINDS | SCHED_KINDS
+                             | JOURNAL_KINDS):
             raise ValueError(f"unknown fault kind: {self.kind!r}")
         if self.times is not None and self.times < 1:
             raise ValueError("times must be >= 1 (or omitted)")
+        if self.kind in (SCHED_KINDS | JOURNAL_KINDS) \
+                and not isinstance(self.point, int):
+            raise ValueError(
+                f"{self.kind} faults target an integer "
+                f"(shard index / outcome count / segment number), "
+                f"got {self.point!r}")
+        if self.after < 1:
+            raise ValueError("after must be >= 1")
 
     def matches(self, index: int, label: str, attempt: int) -> bool:
         if self.point != index and self.point != label:
@@ -104,10 +145,15 @@ class Fault:
             spec["seconds"] = self.seconds
         if self.kind == BITFLIP:
             spec["offset"] = self.offset
+        if self.kind == SHARD_KILL:
+            spec["after"] = self.after
+        if self.kind == PARENT_SIGNAL:
+            spec["signum"] = self.signum
         return spec
 
 
-_SPEC_KEYS = {"kind", "point", "times", "seconds", "offset"}
+_SPEC_KEYS = {"kind", "point", "times", "seconds", "offset", "after",
+              "signum"}
 
 
 class FaultPlan:
@@ -183,6 +229,33 @@ class FaultPlan:
                     fault.matches(index, label, attempt):
                 return fault
         return None
+
+    def shard_fault(self, shard: int, claimed: int,
+                    incarnation: int) -> Optional[Fault]:
+        """The matching ``shard_kill`` fault when pool ``shard``
+        (running its ``incarnation``-th life, 1-based) claims its
+        ``claimed``-th unit, else None."""
+        for fault in self.faults:
+            if fault.kind == SHARD_KILL and fault.point == shard \
+                    and claimed == fault.after \
+                    and (fault.times is None
+                         or incarnation <= fault.times):
+                return fault
+        return None
+
+    def parent_signal_fault(self, resolved: int) -> Optional[Fault]:
+        """The matching ``parent_signal`` fault once ``resolved``
+        terminal outcomes have been recorded in this process."""
+        for fault in self.faults:
+            if fault.kind == PARENT_SIGNAL and fault.point == resolved:
+                return fault
+        return None
+
+    def journal_faults(self, segment: int) -> Tuple[Fault, ...]:
+        """All ``torn_journal`` faults targeting segment ``segment``."""
+        return tuple(fault for fault in self.faults
+                     if fault.kind == TORN_JOURNAL
+                     and fault.point == segment)
 
     def cache_faults(self, index: int, label: str,
                      attempt: int) -> Tuple[Fault, ...]:

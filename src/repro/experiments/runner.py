@@ -151,6 +151,9 @@ class RunCacheStats:
     #: checksum/decode validation and were quarantined (see
     #: docs/RESILIENCE.md); each one degrades to a miss, never a crash.
     cache_corrupt: int = 0
+    #: Cache writes refused by the disk-space guard (the volume was
+    #: nearly full); the result still flows, it just is not persisted.
+    write_refusals: int = 0
 
     @property
     def lookups(self) -> int:
@@ -160,8 +163,13 @@ class RunCacheStats:
 _STATS = RunCacheStats()
 
 
-def _count_corruption(_error: diskcache.CorruptArtifactError) -> None:
-    _STATS.cache_corrupt += 1
+def _count_corruption(error: diskcache.CorruptArtifactError) -> None:
+    from repro.experiments.errors import DiskFullError
+
+    if isinstance(error, DiskFullError):
+        _STATS.write_refusals += 1
+    else:
+        _STATS.cache_corrupt += 1
 
 
 diskcache.add_corruption_listener(_count_corruption)

@@ -36,6 +36,30 @@ appends them to a file as JSON Lines; :func:`read_events` /
 :func:`summarize_events` consume the stream and check that every point
 is accounted for — the contract the CI ``manifest`` job enforces.
 Event emission can never fail a sweep: sink exceptions are swallowed.
+:mod:`repro.experiments.journal` promotes this stream into a durable
+**run journal** (fsync'd appends under a per-run directory) that
+``repro sweep --resume`` replays.
+
+Run-level self-healing (docs/RESILIENCE.md):
+
+* **Graceful shutdown** — pass ``handle_signals=True`` (or an explicit
+  :class:`ShutdownRequest`) and SIGINT/SIGTERM stop the scheduler:
+  in-flight workers are reaped, completed points are kept, the event
+  stream gets an ``end`` record with ``status="interrupted"``, and
+  :class:`~repro.experiments.errors.SweepInterrupted` carries the
+  partial report out.
+* **Shard watchdogs** — shard loops emit throttled ``heartbeat``
+  events; the supervisor restarts a pool that died (or whose heartbeat
+  stalled past ``watchdog_timeout``), requeueing its in-flight units
+  (``requeued`` events, no retry budget burned).  A pool that keeps
+  dying past ``max_pool_restarts`` is *retired* — the run degrades to
+  fewer shards instead of failing — and only when no pool survives
+  does the shard error escape.
+* **Replay hooks** — ``preresolved`` results (journal-completed points
+  recovered from the disk cache) enter the report without new events;
+  ``poisoned`` failures (points that already exhausted retries in a
+  previous run) are skipped-with-failure, emitting an informational
+  ``poisoned`` event instead of re-burning their retry budget.
 
 ``inline=True`` executes units on in-process worker threads instead of
 processes (no isolation, ``point_timeout`` unenforced — injected hangs
@@ -51,15 +75,23 @@ import asyncio
 import dataclasses
 import importlib
 import json
+import os
+import signal
+import threading
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.cpu.stats import SimStats
 from repro.experiments import faults as faults_mod
 from repro.experiments import runner
 from repro.experiments.errors import (
+    PointFailure,
     PointTimeoutError,
+    ShardDiedError,
+    SweepInterrupted,
     TransientError,
     WorkerCrashError,
     backoff_delay,
@@ -82,12 +114,15 @@ sweep_mod = importlib.import_module("repro.experiments.sweep")
 
 __all__ = [
     "EVENT_SCHEMA_VERSION", "ServiceConfig", "WorkUnit", "WorkOutcome",
-    "JsonlEventLog", "serve_sweep", "read_events", "summarize_events",
-    "format_events_summary",
+    "JsonlEventLog", "ShutdownRequest", "serve_sweep", "read_events",
+    "follow_events", "summarize_events", "format_events_summary",
 ]
 
 #: Bump when the progress-event layout changes; consumers should check.
-EVENT_SCHEMA_VERSION = 1
+#: v2 adds run-lifecycle events (``heartbeat``, ``requeued``,
+#: ``poisoned``, ``pool_restarted``, ``pool_retired``) and the
+#: ``status`` field on ``end`` records.
+EVENT_SCHEMA_VERSION = 2
 
 #: Scheduler poll period while shards supervise live workers.
 _POLL_SECONDS = 0.01
@@ -110,12 +145,26 @@ class ServiceConfig:
     #: Execute units on in-process threads instead of worker processes
     #: (tests / synthetic grids; no crash isolation or hang killing).
     inline: bool = False
+    #: Minimum seconds between ``heartbeat`` events per shard (0
+    #: disables heartbeat emission; liveness tracking still runs).
+    heartbeat_interval: float = 5.0
+    #: Supervisor declares a shard stalled when its heartbeat is older
+    #: than this many seconds (None disables stall detection; dead-task
+    #: detection is always on).
+    watchdog_timeout: Optional[float] = None
+    #: How many times one shard's pool may be restarted after dying
+    #: before the shard is retired (the run shrinks, it does not fail).
+    max_pool_restarts: int = 2
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be >= 0, "
+                f"got {self.max_pool_restarts}")
 
 
 # ----------------------------------------------------------------------
@@ -255,42 +304,62 @@ EventSink = Callable[[dict], None]
 
 
 class _Emitter:
-    """Sequence-numbered event fan-out that can never fail the sweep."""
+    """Sequence-numbered event fan-out that can never fail the sweep.
 
-    def __init__(self, sink: Optional[EventSink]):
-        self.sink = sink
+    Accepts one sink, a sequence of sinks (the journal plus an
+    ``--events`` file, say), or None.
+    """
+
+    def __init__(self,
+                 sink: Union[EventSink, Sequence[EventSink], None]):
+        if sink is None:
+            self.sinks: Tuple[EventSink, ...] = ()
+        elif callable(sink):
+            self.sinks = (sink,)
+        else:
+            self.sinks = tuple(s for s in sink if s is not None)
         self.seq = 0
 
     def __call__(self, event_type: str, **fields) -> None:
-        if self.sink is None:
+        if not self.sinks:
             return
         self.seq += 1
         event = {"v": EVENT_SCHEMA_VERSION, "seq": self.seq,
                  "event": event_type}
         event.update(fields)
-        try:
-            self.sink(event)
-        except Exception:
-            pass  # observability must never break the sweep
+        for sink in self.sinks:
+            try:
+                sink(event)
+            except Exception:
+                pass  # observability must never break the sweep
 
 
 class JsonlEventLog:
     """Event sink appending one JSON object per line to ``path``.
 
     Lines are flushed as written so a tailing consumer (dashboard, the
-    CLI progress display, ``tail -f``) sees events live.  Usable as a
-    context manager; ``close()`` is idempotent.
+    CLI progress display, ``tail -f``) sees events live.  With
+    ``fsync=True`` every line is also fsync'd — the crash-durability
+    mode the run journal uses, where a journaled record must survive a
+    SIGKILL of the writer.  ``append=True`` keeps an existing file's
+    contents (journal segments never overwrite).  Usable as a context
+    manager; ``close()`` is idempotent.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], append: bool = False,
+                 fsync: bool = False):
         self.path = Path(path)
-        self._fh = open(self.path, "w", encoding="utf-8")
+        self.fsync = bool(fsync)
+        self._fh = open(self.path, "a" if append else "w",
+                        encoding="utf-8")
 
     def __call__(self, event: dict) -> None:
         if self._fh is None:
             return
         self._fh.write(json.dumps(event, sort_keys=True) + "\n")
         self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:
@@ -326,50 +395,137 @@ def read_events(path: Union[str, Path]) -> List[dict]:
     return events
 
 
+def follow_events(path: Union[str, Path], poll: float = 0.2,
+                  timeout: Optional[float] = None,
+                  stop: Optional[Callable[[], bool]] = None,
+                  ) -> Iterator[dict]:
+    """Tail a live JSONL event stream, yielding events as they land.
+
+    The minimal-CLI dashboard primitive (``repro manifest events
+    --follow``): starts from the top of the file (which may not exist
+    yet), sleeps ``poll`` seconds between reads, and returns after an
+    ``end`` event, when ``stop()`` goes true, or after ``timeout``
+    seconds of wall time.  A partially written final line is simply
+    retried on the next poll.
+    """
+    deadline = (None if timeout is None
+                else time.monotonic() + timeout)
+    buffer = ""
+    position = 0
+    while True:
+        chunk = ""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                fh.seek(position)
+                chunk = fh.read()
+                position = fh.tell()
+        except OSError:
+            pass  # not created yet (or vanished): keep polling
+        buffer += chunk
+        while "\n" in buffer:
+            line, buffer = buffer.split("\n", 1)
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn mid-write; complete lines still flow
+            yield event
+            if event.get("event") == "end":
+                return
+        if stop is not None and stop():
+            return
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(poll)
+
+
 def summarize_events(events: Sequence[dict]) -> dict:
     """Aggregate a stream into point accounting + retry/failure counts.
 
     ``missing`` lists point indices with no terminal event — non-empty
     means the stream does not account for the whole grid (a crashed
-    service or a truncated artifact).
+    service or a truncated artifact).  ``duplicates`` lists indices
+    with *more than one* terminal event — the exactly-once check for
+    resumed runs, whose joined journal segments must still yield one
+    terminal per point (``poisoned`` records are informational, not
+    terminal: the poison point's ``failed`` record lives in an earlier
+    segment).  ``segments`` counts ``begin`` records, i.e. how many
+    run attempts the stream joins; ``status`` is the last ``end``
+    record's status (``ok`` / ``failed`` / ``interrupted``, or None
+    for a stream still missing its trailer).
     """
     total = None
     completed: Dict[int, dict] = {}
     failed: Dict[int, dict] = {}
+    terminal_counts: Dict[int, int] = {}
+    poisoned: Dict[int, dict] = {}
     retried = 0
     retry_kinds: Dict[str, int] = {}
     sources: Dict[str, int] = {}
     scheduled = 0
+    requeued = 0
+    heartbeats = 0
+    pool_restarts = 0
+    pool_retired = 0
+    segments = 0
     elapsed = None
+    status = None
     for event in events:
         kind = event.get("event")
         if kind == "begin":
-            total = event.get("total")
+            segments += 1
+            if event.get("total") is not None:
+                total = event.get("total")
         elif kind == "scheduled":
             scheduled += 1
         elif kind == "completed":
             completed[event["index"]] = event
+            terminal_counts[event["index"]] = \
+                terminal_counts.get(event["index"], 0) + 1
             source = event.get("source", "sim")
             sources[source] = sources.get(source, 0) + 1
         elif kind == "failed":
             failed[event["index"]] = event
+            terminal_counts[event["index"]] = \
+                terminal_counts.get(event["index"], 0) + 1
+        elif kind == "poisoned":
+            poisoned[event["index"]] = event
         elif kind == "retried":
             retried += 1
             fk = event.get("kind", "transient")
             retry_kinds[fk] = retry_kinds.get(fk, 0) + 1
+        elif kind == "requeued":
+            requeued += 1
+        elif kind == "heartbeat":
+            heartbeats += 1
+        elif kind == "pool_restarted":
+            pool_restarts += 1
+        elif kind == "pool_retired":
+            pool_retired += 1
         elif kind == "end":
             elapsed = event.get("seconds")
+            status = event.get("status", status)
     known = total if total is not None else (
         max(list(completed) + list(failed), default=-1) + 1)
     missing = sorted(set(range(known)) - set(completed) - set(failed))
+    duplicates = sorted(i for i, n in terminal_counts.items() if n > 1)
     return {
         "total": known,
         "completed": len(completed),
         "failed": len(failed),
         "missing": missing,
+        "duplicates": duplicates,
+        "poisoned": sorted(poisoned),
         "scheduled": scheduled,
         "retried": retried,
         "retry_kinds": retry_kinds,
+        "requeued": requeued,
+        "heartbeats": heartbeats,
+        "pool_restarts": pool_restarts,
+        "pool_retired": pool_retired,
+        "segments": segments,
+        "status": status,
         "sources": sources,
         "failures": [
             {"index": i, "label": f.get("label"),
@@ -393,6 +549,19 @@ def format_events_summary(summary: dict) -> str:
         + (f"  ({', '.join(f'{v} {k}' for k, v in sorted(summary['retry_kinds'].items()))})"
            if summary["retry_kinds"] else ""),
     ]
+    if summary.get("status") is not None:
+        lines.insert(0, f"status:    {summary['status']}")
+    if summary.get("segments", 0) > 1:
+        lines.append(f"segments:  {summary['segments']} "
+                     "(resumed run — joined journal)")
+    if summary.get("poisoned"):
+        lines.append(f"poisoned:  {len(summary['poisoned'])} "
+                     f"(quarantined on resume: {summary['poisoned']})")
+    if summary.get("requeued"):
+        lines.append(f"requeued:  {summary['requeued']}")
+    if summary.get("pool_restarts") or summary.get("pool_retired"):
+        lines.append(f"pools:     {summary['pool_restarts']} "
+                     f"restarted, {summary['pool_retired']} retired")
     if summary["seconds"] is not None:
         lines.append(f"wall:      {summary['seconds']:.1f}s")
     for failure in summary["failures"]:
@@ -402,7 +571,38 @@ def format_events_summary(summary: dict) -> str:
         lines.append(f"  MISSING terminal events for point(s) "
                      f"{summary['missing']} — stream does not account "
                      "for the grid")
+    if summary.get("duplicates"):
+        lines.append(f"  DUPLICATE terminal events for point(s) "
+                     f"{summary['duplicates']} — exactly-once "
+                     "accounting violated")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+class ShutdownRequest:
+    """Thread- and signal-safe stop flag for :func:`serve_sweep`.
+
+    ``request()`` may be called from a signal handler, another thread,
+    or a test; the supervisor polls ``requested()`` and drains the run
+    (reap in-flight workers, keep completed points, write an
+    ``end{status=interrupted}`` record, raise
+    :class:`~repro.experiments.errors.SweepInterrupted`).
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        #: The signal number that triggered the request, when one did.
+        self.signum: Optional[int] = None
+
+    def request(self, signum: Optional[int] = None) -> None:
+        if signum is not None:
+            self.signum = signum
+        self._event.set()
+
+    def requested(self) -> bool:
+        return self._event.is_set()
 
 
 # ----------------------------------------------------------------------
@@ -414,16 +614,25 @@ class _Scheduler:
 
     def __init__(self, state: "sweep_mod._SweepState",
                  pending: Sequence[int], config: ServiceConfig,
-                 emit: _Emitter):
+                 emit: _Emitter, plan: Optional[FaultPlan] = None):
         self.state = state
         self.config = config
         self.emit = emit
+        self.plan = plan
         #: (ready_at, index, attempt) — retries re-enter with deadlines.
         self.waiting: List[Tuple[float, int, int]] = [
             (0.0, index, 1) for index in pending
         ]
         #: Points with no terminal outcome yet (waiting or in flight).
         self.outstanding = set(pending)
+        #: Units claimed by each shard and not yet resolved — what the
+        #: watchdog requeues when the shard's pool dies.
+        self.in_flight: Dict[int, List[WorkUnit]] = {}
+        #: Last liveness timestamp per shard (monotonic clock).
+        self.heartbeats: Dict[int, float] = {}
+        #: Terminal outcomes resolved so far (parent-signal faults key
+        #: off this count).
+        self.resolved = 0
 
     @property
     def finished(self) -> bool:
@@ -439,9 +648,32 @@ class _Scheduler:
             return None
         _, index, attempt = self.waiting.pop(0)
         unit = WorkUnit(index, attempt, self.state.points[index])
+        self.in_flight.setdefault(shard, []).append(unit)
         self.emit("scheduled", index=index, label=unit.point.label,
                   attempt=attempt, shard=shard)
         return unit
+
+    def requeue_shard(self, shard: int) -> int:
+        """Return a dead shard's claimed-but-unresolved units to the
+        queue, same attempt number (a pool death is not the point's
+        fault — no retry budget is burned)."""
+        units = self.in_flight.pop(shard, [])
+        now = time.monotonic()
+        for unit in units:
+            self.waiting.append((now, unit.index, unit.attempt))
+            self.emit("requeued", index=unit.index,
+                      label=unit.point.label, attempt=unit.attempt,
+                      shard=shard)
+        return len(units)
+
+    def _terminal(self) -> None:
+        """Bookkeeping common to both terminal branches; fires any
+        matching injected parent signal."""
+        self.resolved += 1
+        if self.plan:
+            fault = self.plan.parent_signal_fault(self.resolved)
+            if fault is not None:
+                os.kill(os.getpid(), fault.signum)
 
     def resolve(self, shard: int, unit: WorkUnit,
                 outcome: WorkOutcome) -> None:
@@ -452,6 +684,9 @@ class _Scheduler:
         """
         index, attempt = unit.index, unit.attempt
         point = self.state.points[index]
+        claimed = self.in_flight.get(shard)
+        if claimed and unit in claimed:
+            claimed.remove(unit)
         if outcome.status == OK:
             stats = SimStats.from_state(outcome.stats_state)
             if not self.config.inline:
@@ -467,6 +702,7 @@ class _Scheduler:
                       attempt=attempt, shard=shard,
                       source=outcome.source,
                       seconds=round(outcome.seconds, 4))
+            self._terminal()
             self.state.complete(index, SweepResult(
                 point, stats, outcome.miss_map, outcome.seconds,
                 outcome.source))
@@ -490,22 +726,49 @@ class _Scheduler:
                   kind=sweep_mod.PointFailure.from_error(
                       point.label, index, error, attempt).kind,
                   message=str(error))
+        self._terminal()
         self.state.fail(index, error, attempt)
 
 
-async def _shard_loop(shard: int, sched: _Scheduler,
+async def _shard_loop(shard: int, incarnation: int, sched: _Scheduler,
                       config: ServiceConfig, plan: Optional[FaultPlan],
                       ctx, plan_json: Optional[str]) -> None:
     """One shard: keep up to ``config.jobs`` workers busy until every
-    point (on any shard) has a terminal outcome."""
+    point (on any shard) has a terminal outcome.
+
+    ``incarnation`` is 1-based and grows each time the supervisor
+    restarts this shard's pool; injected ``shard_kill`` faults use it
+    to decide whether the restarted pool dies again.
+    """
     live: List[Tuple[object, WorkUnit]] = []
+    claimed = 0
+    last_beat = time.monotonic()
+    sched.heartbeats[shard] = last_beat
     try:
         while True:
             now = time.monotonic()
+            sched.heartbeats[shard] = now
+            if config.heartbeat_interval > 0 \
+                    and now - last_beat >= config.heartbeat_interval:
+                last_beat = now
+                sched.emit("heartbeat", shard=shard,
+                           incarnation=incarnation, live=len(live),
+                           outstanding=len(sched.outstanding))
             while len(live) < config.jobs:
                 unit = sched.next_ready(now, shard)
                 if unit is None:
                     break
+                claimed += 1
+                if plan:
+                    fault = plan.shard_fault(shard, claimed,
+                                             incarnation)
+                    if fault is not None:
+                        # The claimed unit stays in ``in_flight`` so
+                        # the watchdog requeues it with this pool.
+                        raise ShardDiedError(
+                            f"injected shard kill: shard {shard} "
+                            f"(incarnation {incarnation}) died on its "
+                            f"claim #{claimed}", shard=shard)
                 if config.inline:
                     task = asyncio.ensure_future(asyncio.to_thread(
                         _execute_inline, unit, config.use_cache, plan))
@@ -558,31 +821,114 @@ async def _shard_loop(shard: int, sched: _Scheduler,
 
 
 async def _serve(sched: _Scheduler, config: ServiceConfig,
-                 plan: Optional[FaultPlan]) -> None:
+                 plan: Optional[FaultPlan],
+                 shutdown: Optional[ShutdownRequest] = None,
+                 handle_signals: bool = False) -> None:
+    """Supervise the shard pools: restart or retire dead/stalled ones,
+    requeue their in-flight units, honor shutdown requests."""
     import multiprocessing
 
     ctx = None if config.inline else multiprocessing.get_context()
     plan_json = plan.to_json() if (plan and not config.inline) else None
-    tasks = [
-        asyncio.ensure_future(_shard_loop(
-            shard, sched, config, plan, ctx, plan_json))
-        for shard in range(config.shards)
-    ]
+    loop = asyncio.get_running_loop()
+    installed: List[int] = []
+    if handle_signals and shutdown is not None:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, shutdown.request, sig)
+                installed.append(sig)
+            except (RuntimeError, ValueError, NotImplementedError):
+                pass  # non-main thread / platform without support
+
+    def spawn(shard: int, incarnation: int) -> asyncio.Future:
+        sched.heartbeats[shard] = time.monotonic()
+        return asyncio.ensure_future(_shard_loop(
+            shard, incarnation, sched, config, plan, ctx, plan_json))
+
+    #: shard → (task, incarnation); retired shards drop out.
+    tasks: Dict[int, Tuple[asyncio.Future, int]] = {
+        shard: (spawn(shard, 1), 1) for shard in range(config.shards)
+    }
+    restarts = {shard: 0 for shard in tasks}
     try:
-        await asyncio.gather(*tasks)
-    except BaseException:
-        for task in tasks:
+        while True:
+            if shutdown is not None and shutdown.requested():
+                return  # drain: finally reaps every pool
+            now = time.monotonic()
+            for shard in sorted(tasks):
+                task, incarnation = tasks[shard]
+                exc: Optional[BaseException] = None
+                if task.done():
+                    try:
+                        exc = task.exception()
+                    except asyncio.CancelledError:
+                        exc = ShardDiedError(
+                            f"shard {shard} cancelled", shard=shard)
+                    if exc is None:
+                        continue  # clean exit (scheduler finished)
+                elif config.watchdog_timeout is not None \
+                        and now - sched.heartbeats.get(shard, now) \
+                        > config.watchdog_timeout:
+                    # Stalled: heartbeat stopped but the task is not
+                    # done — a failure mode point_timeout cannot see.
+                    task.cancel()
+                    try:
+                        await task
+                    except BaseException:
+                        pass
+                    exc = ShardDiedError(
+                        f"shard {shard} heartbeat stalled past "
+                        f"{config.watchdog_timeout:.1f}s", shard=shard)
+                else:
+                    continue
+                if isinstance(exc, (PointFailure, SweepInterrupted)):
+                    raise exc  # policy decisions, not pool deaths
+                requeued = sched.requeue_shard(shard)
+                if restarts[shard] < config.max_pool_restarts:
+                    restarts[shard] += 1
+                    incarnation += 1
+                    sched.emit("pool_restarted", shard=shard,
+                               incarnation=incarnation,
+                               requeued=requeued,
+                               error=f"{type(exc).__name__}: {exc}")
+                    tasks[shard] = (spawn(shard, incarnation),
+                                    incarnation)
+                else:
+                    del tasks[shard]
+                    sched.emit("pool_retired", shard=shard,
+                               requeued=requeued,
+                               remaining=len(tasks),
+                               error=f"{type(exc).__name__}: {exc}")
+                    if not tasks:
+                        if sched.finished:
+                            return
+                        raise exc  # no pool left for outstanding work
+            if sched.finished and tasks \
+                    and all(t.done() for t, _ in tasks.values()):
+                return
+            await asyncio.sleep(_POLL_SECONDS)
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        for task, _incarnation in tasks.values():
             task.cancel()
-        await asyncio.gather(*tasks, return_exceptions=True)
-        raise
+        if tasks:
+            # Each shard's finally block reaps its own live workers.
+            await asyncio.gather(
+                *(t for t, _ in tasks.values()), return_exceptions=True)
 
 
 def serve_sweep(
     points: Sequence[SweepPoint],
     config: Optional[ServiceConfig] = None,
-    events: Optional[EventSink] = None,
+    events: Union[EventSink, Sequence[EventSink], None] = None,
     progress: Optional[ProgressFn] = _default_progress,
     fault_plan: Optional[FaultPlan] = None,
+    preresolved: Optional[Dict[int, SweepResult]] = None,
+    poisoned: Optional[Dict[int, PointFailure]] = None,
+    shutdown: Optional[ShutdownRequest] = None,
+    handle_signals: bool = False,
+    run_info: Optional[dict] = None,
 ) -> SweepReport:
     """Evaluate every point through the sharded service and return a
     :class:`~repro.experiments.sweep.SweepReport`.
@@ -592,19 +938,44 @@ def serve_sweep(
     failures retry with deterministic backoff, ``keep_going`` selects
     partial-result collection vs fail-fast — plus the progress-event
     stream (``events``) documented in the module docstring.
+
+    Resume hooks (used by :func:`repro.experiments.journal.run_sweep`):
+    ``preresolved`` maps point index → recovered
+    :class:`~repro.experiments.sweep.SweepResult` for points whose
+    terminal ``completed`` record lives in an earlier journal segment —
+    they enter the report *without* emitting new events, keeping the
+    joined stream exactly-once.  ``poisoned`` maps index → the
+    recorded :class:`~repro.experiments.errors.PointFailure` for
+    points that already exhausted retries — they are skipped-with-
+    failure (an informational ``poisoned`` event; still raising under
+    fail-fast).  ``run_info`` fields are merged into the ``begin``
+    record (run id, segment number).
+
+    Interruption: when ``shutdown`` is requested (or, with
+    ``handle_signals=True``, SIGINT/SIGTERM arrives) the scheduler
+    drains, an ``end{status=interrupted}`` record is written, and
+    :class:`~repro.experiments.errors.SweepInterrupted` carries the
+    partial report out.
     """
     points = list(points)
     if config is None:
         config = ServiceConfig()
     if fault_plan is None:
         fault_plan = FaultPlan.from_env()
+    if shutdown is None and handle_signals:
+        shutdown = ShutdownRequest()
     emit = _Emitter(events)
     state = sweep_mod._SweepState(points, progress, config.keep_going)
+    preresolved = dict(preresolved or {})
+    poisoned = dict(poisoned or {})
+    replayed = set(preresolved) | set(poisoned)
 
     pending: List[int] = []
     cached: List[Tuple[int, SweepResult]] = []
     if config.use_cache:
         for index, point in enumerate(points):
+            if index in replayed:
+                continue
             start = time.perf_counter()
             hit = runner.peek_cached(point.key())
             if hit is None:
@@ -616,11 +987,18 @@ def serve_sweep(
                 point, stats, miss_map,
                 time.perf_counter() - start, source)))
     else:
-        pending = list(range(len(points)))
+        pending = [index for index in range(len(points))
+                   if index not in replayed]
 
+    begin_fields = dict(run_info or {})
     emit("begin", total=len(points), cached=len(cached),
+         preresolved=len(preresolved), poisoned=len(poisoned),
          shards=config.shards, jobs=config.jobs,
-         inline=config.inline)
+         inline=config.inline, **begin_fields)
+    # Journal-replayed completions re-enter silently: their terminal
+    # events already exist in an earlier segment of the joined stream.
+    for index in sorted(preresolved):
+        state.complete(index, preresolved[index])
     for index, result in cached:
         emit("completed", index=index, label=result.point.label,
              attempt=0, shard=None, source=result.source,
@@ -628,13 +1006,45 @@ def serve_sweep(
         state.complete(index, result)
 
     started = time.monotonic()
+    interrupted = False
     try:
+        # Poison points: skipped-with-failure, no retry budget burned.
+        # The ``poisoned`` event is informational (their ``failed``
+        # terminal lives in the segment that exhausted the retries);
+        # fail_preformed still raises under fail-fast.
+        for index in sorted(poisoned):
+            failure = poisoned[index]
+            emit("poisoned", index=index, label=failure.label,
+                 kind=failure.kind, attempts=failure.attempts,
+                 message=failure.message)
+            state.fail_preformed(index, failure)
         if pending:
-            sched = _Scheduler(state, pending, config, emit)
-            asyncio.run(_serve(sched, config, fault_plan))
+            sched = _Scheduler(state, pending, config, emit,
+                               fault_plan)
+            asyncio.run(_serve(sched, config, fault_plan,
+                               shutdown=shutdown,
+                               handle_signals=handle_signals))
+        interrupted = (shutdown is not None and shutdown.requested())
+    except BaseException:
+        interrupted = (shutdown is not None and shutdown.requested())
+        raise
     finally:
-        emit("end",
+        if interrupted:
+            status = "interrupted"
+        elif state.failures:
+            status = "failed"
+        else:
+            status = "ok"
+        emit("end", status=status,
              completed=sum(1 for r in state.results if r is not None),
              failed=len(state.failures),
              seconds=round(time.monotonic() - started, 4))
+    if interrupted:
+        signum = shutdown.signum if shutdown is not None else None
+        raise SweepInterrupted(
+            "sweep interrupted"
+            + (f" by signal {signum}" if signum else "")
+            + f" with {state.done} of {len(points)} points resolved",
+            report=state.report(), signum=signum,
+            run_id=begin_fields.get("run_id"))
     return state.report()

@@ -359,6 +359,17 @@ class _SweepState:
         if not self.keep_going:
             raise failure
 
+    def fail_preformed(self, index: int, failure: PointFailure) -> None:
+        """Record an already-constructed terminal failure (a poison
+        point replayed from the run journal); raises under fail-fast
+        like :meth:`fail`."""
+        self.failures[index] = failure
+        self._emit(failure.label,
+                   f"FAIL   ({failure.kind}, poisoned — quarantined "
+                   "by run journal)")
+        if not self.keep_going:
+            raise failure
+
     def report(self) -> SweepReport:
         return SweepReport(
             results=[r for r in self.results if r is not None],

@@ -44,7 +44,7 @@ DEFAULT_WIRING_ATTRS = (
 #: Callables whose arguments cross a pickling process boundary.
 DEFAULT_BOUNDARY_CALLABLES = (
     "Process", "apply_async", "submit", "map_async", "starmap_async",
-    "sweep", "sweep_grid", "serve_sweep",
+    "sweep", "sweep_grid", "serve_sweep", "run_sweep",
 )
 
 #: Files required to contain at least one hot-begin/hot-end fence —

@@ -25,6 +25,9 @@ from repro.experiments.faults import (
     CRASH_EXIT_CODE,
     ERROR,
     HANG,
+    PARENT_SIGNAL,
+    SHARD_KILL,
+    TORN_JOURNAL,
     TRUNCATE,
     Fault,
     FaultPlan,
@@ -408,3 +411,60 @@ class TestSweepCLI:
                    "--scale", "tiny", "--keep-going"])
         assert rc == 0
         assert "2/2 points" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Scheduler- and journal-layer fault kinds (run-level self-healing)
+# ----------------------------------------------------------------------
+class TestSchedulerFaults:
+    def test_spec_round_trip_carries_layer_fields(self):
+        plan = FaultPlan([
+            Fault(SHARD_KILL, 1, times=2, after=3),
+            Fault(PARENT_SIGNAL, 5, signum=2),
+            Fault(TORN_JOURNAL, 1),
+        ])
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.faults == plan.faults
+        specs = {f.kind: f.to_spec() for f in clone.faults}
+        assert specs[SHARD_KILL]["after"] == 3
+        assert specs[PARENT_SIGNAL]["signum"] == 2
+        assert "seconds" not in specs[TORN_JOURNAL]
+
+    def test_layer_kinds_require_integer_targets(self):
+        for kind in (SHARD_KILL, PARENT_SIGNAL, TORN_JOURNAL):
+            with pytest.raises(ValueError, match="integer"):
+                Fault(kind, EIP_LABEL)
+
+    def test_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="after"):
+            Fault(SHARD_KILL, 0, after=0)
+
+    def test_shard_fault_matches_claim_and_incarnation(self):
+        plan = FaultPlan([Fault(SHARD_KILL, 0, times=2, after=2)])
+        assert plan.shard_fault(0, claimed=2, incarnation=1)
+        assert plan.shard_fault(0, claimed=2, incarnation=2)
+        assert plan.shard_fault(0, claimed=2, incarnation=3) is None
+        assert plan.shard_fault(0, claimed=1, incarnation=1) is None
+        assert plan.shard_fault(1, claimed=2, incarnation=1) is None
+        persistent = FaultPlan([Fault(SHARD_KILL, 0)])
+        assert persistent.shard_fault(0, claimed=1, incarnation=99)
+
+    def test_parent_signal_fault_matches_resolved_count(self):
+        plan = FaultPlan([Fault(PARENT_SIGNAL, 3, signum=15)])
+        assert plan.parent_signal_fault(3).signum == 15
+        assert plan.parent_signal_fault(2) is None
+        assert plan.parent_signal_fault(4) is None
+
+    def test_journal_faults_match_segment(self):
+        plan = FaultPlan([Fault(TORN_JOURNAL, 1),
+                          Fault(TORN_JOURNAL, 2),
+                          Fault(SHARD_KILL, 1)])
+        assert len(plan.journal_faults(1)) == 1
+        assert len(plan.journal_faults(2)) == 1
+        assert plan.journal_faults(3) == ()
+
+    def test_layer_faults_never_match_exec_or_cache(self):
+        plan = FaultPlan([Fault(SHARD_KILL, 0), Fault(PARENT_SIGNAL, 0),
+                          Fault(TORN_JOURNAL, 0)])
+        assert plan.exec_fault(0, EIP_LABEL, attempt=1) is None
+        assert plan.cache_faults(0, EIP_LABEL, attempt=1) == ()
