@@ -47,6 +47,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.errors import ExperimentError, InvalidConfigError
+
 ARTIFACT_PREFIX = "BENCH_"
 ARTIFACT_SCHEMA = 1
 
@@ -298,7 +300,7 @@ def bench_sweep_cache(quick: bool, repeats: int, calibration: float) -> dict:
                     runner.clear_run_cache()  # force the disk layer
                     hit = runner.peek_cached(key)
                     if hit is None or hit[2] != "disk":
-                        raise RuntimeError(
+                        raise ExperimentError(
                             "sweep_cache bench: expected a disk hit"
                         )
                 seconds.append(time.perf_counter() - t0)
@@ -341,11 +343,11 @@ def run_benchmarks(
     names = list(names) if names else list(BENCHMARK_NAMES)
     unknown = [n for n in names if n not in _RUNNERS]
     if unknown:
-        raise ValueError(f"unknown benchmark(s): {', '.join(unknown)}")
+        raise InvalidConfigError(f"unknown benchmark(s): {', '.join(unknown)}")
     if repeats is None:
         repeats = 3 if quick else 5
     if repeats < 1:
-        raise ValueError("repeats must be >= 1")
+        raise InvalidConfigError("repeats must be >= 1")
     calibration = calibrate()
     artifacts = []
     for name in names:
@@ -415,7 +417,7 @@ def parse_regression(text: str) -> float:
     else:
         value = float(text)
     if value < 0:
-        raise ValueError("max regression must be >= 0")
+        raise InvalidConfigError("max regression must be >= 0")
     return value
 
 
@@ -464,7 +466,7 @@ def compare_dirs(base_dir: os.PathLike, new_dir: os.PathLike,
     base_set = load_artifacts(base_dir, on_error=_note_bad)
     new_set = load_artifacts(new_dir, on_error=_note_bad)
     if not base_set:
-        raise ValueError(f"no {ARTIFACT_PREFIX}*.json artifacts "
+        raise InvalidConfigError(f"no {ARTIFACT_PREFIX}*.json artifacts "
                          f"in {base_dir}")
     rows: List[List[str]] = []
     for name, base in sorted(base_set.items()):

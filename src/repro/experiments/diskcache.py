@@ -288,6 +288,7 @@ class DiskCache:
             path.parent.mkdir(parents=True, exist_ok=True)
             if self._refuse_if_full(path, len(blob)):
                 return
+            # lint: ordered[atomic-replace]
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
@@ -296,6 +297,7 @@ class DiskCache:
                     fh.flush()
                     os.fsync(fh.fileno())
                 os.replace(tmp, path)
+                # lint: ordered-end
             except BaseException:
                 try:
                     os.unlink(tmp)

@@ -33,6 +33,12 @@ be handled.  The hierarchy encodes the policy:
     drained the scheduler mid-run.  Carries the partial
     ``SweepReport`` and, when a run journal is active, the run id to
     resume from.
+``InvalidConfigError`` / ``EventStreamError`` / ``FaultPlanError``
+    Validation failures that historically raised plain ``ValueError``.
+    Each mixes ``ExperimentError`` with ``ValueError`` so existing
+    ``except ValueError`` call sites (and tests) keep working while
+    the error-taxonomy lint rule can prove every raise under
+    ``repro.experiments`` resolves to the structured hierarchy.
 ``PointFailure``
     The terminal record for one sweep point that could not be
     completed after retries.  Collected into
@@ -61,6 +67,9 @@ __all__ = [
     "ShardDiedError",
     "SweepInterrupted",
     "PointFailure",
+    "InvalidConfigError",
+    "EventStreamError",
+    "FaultPlanError",
     "backoff_delay",
 ]
 
@@ -167,6 +176,23 @@ class SweepInterrupted(ExperimentError):
         """Conventional shell exit status (128 + signal, default
         SIGINT's 130)."""
         return 128 + (self.signum if self.signum else 2)
+
+
+class InvalidConfigError(ExperimentError, ValueError):
+    """A configuration object (``ServiceConfig``, benchmark/SLO specs)
+    failed validation.  Subclasses ``ValueError`` so callers that
+    predate the taxonomy — and tests written against them — still
+    catch it."""
+
+
+class EventStreamError(ExperimentError, ValueError):
+    """A journal/service event stream failed strict decoding
+    (``read_events(strict=True)`` hit an undecodable line)."""
+
+
+class FaultPlanError(ExperimentError, ValueError):
+    """A fault-injection plan (``--fault`` specs, fault fields) failed
+    validation."""
 
 
 #: Failure kinds recorded on :class:`PointFailure`.

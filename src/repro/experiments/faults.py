@@ -64,6 +64,8 @@ import os
 from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
 
+from repro.experiments.errors import FaultPlanError
+
 __all__ = [
     "CRASH", "HANG", "ERROR", "TRUNCATE", "BITFLIP",
     "SHARD_KILL", "PARENT_SIGNAL", "TORN_JOURNAL",
@@ -120,17 +122,17 @@ class Fault:
     def __post_init__(self) -> None:
         if self.kind not in (EXEC_KINDS | CACHE_KINDS | SCHED_KINDS
                              | JOURNAL_KINDS):
-            raise ValueError(f"unknown fault kind: {self.kind!r}")
+            raise FaultPlanError(f"unknown fault kind: {self.kind!r}")
         if self.times is not None and self.times < 1:
-            raise ValueError("times must be >= 1 (or omitted)")
+            raise FaultPlanError("times must be >= 1 (or omitted)")
         if self.kind in (SCHED_KINDS | JOURNAL_KINDS) \
                 and not isinstance(self.point, int):
-            raise ValueError(
+            raise FaultPlanError(
                 f"{self.kind} faults target an integer "
                 f"(shard index / outcome count / segment number), "
                 f"got {self.point!r}")
         if self.after < 1:
-            raise ValueError("after must be >= 1")
+            raise FaultPlanError("after must be >= 1")
 
     def matches(self, index: int, label: str, attempt: int) -> bool:
         if self.point != index and self.point != label:
@@ -175,20 +177,20 @@ class FaultPlan:
                          "times": 1}, ...]}
         """
         if not isinstance(spec, dict):
-            raise ValueError("fault plan must be a JSON object")
+            raise FaultPlanError("fault plan must be a JSON object")
         entries = spec.get("faults", [])
         if not isinstance(entries, list):
-            raise ValueError("fault plan 'faults' must be a list")
+            raise FaultPlanError("fault plan 'faults' must be a list")
         faults = []
         for entry in entries:
             if not isinstance(entry, dict) or "kind" not in entry \
                     or "point" not in entry:
-                raise ValueError(
+                raise FaultPlanError(
                     f"fault entry needs 'kind' and 'point': {entry!r}"
                 )
             unknown = set(entry) - _SPEC_KEYS
             if unknown:
-                raise ValueError(
+                raise FaultPlanError(
                     f"unknown fault field(s) {sorted(unknown)} "
                     f"in {entry!r}"
                 )
@@ -200,7 +202,7 @@ class FaultPlan:
         try:
             spec = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"bad fault plan JSON: {exc}") from exc
+            raise FaultPlanError(f"bad fault plan JSON: {exc}") from exc
         return cls.from_spec(spec)
 
     @classmethod
@@ -300,7 +302,7 @@ def corrupt_file(path: Union[str, os.PathLike], kind: str = TRUNCATE,
     rot).  Returns False when the file is missing/empty/unwritable.
     """
     if kind not in CACHE_KINDS:
-        raise ValueError(f"not a corruption kind: {kind!r}")
+        raise FaultPlanError(f"not a corruption kind: {kind!r}")
     target = Path(path)
     try:
         data = target.read_bytes()

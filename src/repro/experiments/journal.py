@@ -135,6 +135,7 @@ def list_runs(root: Optional[Path] = None,
 
 def _write_meta(run_dir: Path, meta: dict) -> None:
     """Atomic ``meta.json`` write (temp + fsync + rename)."""
+    # lint: ordered[atomic-replace]
     tmp = run_dir / (_META_NAME + ".tmp")
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(meta, fh, sort_keys=True, indent=2)
@@ -142,6 +143,7 @@ def _write_meta(run_dir: Path, meta: dict) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, run_dir / _META_NAME)
+    # lint: ordered-end
 
 
 def _dedup_segment(events: List[dict]) -> List[dict]:

@@ -64,6 +64,7 @@ except ImportError:  # Python < 3.9..3.10: JSON manifests only.
     tomllib = None
 
 from repro.cpu import MachineConfig
+from repro.experiments.errors import ExperimentError
 from repro.experiments.runner import DEFAULT_WARMUP
 from repro.experiments.sweep import DEFAULT_PREFETCHERS, SweepPoint
 from repro.memory.policies import POLICY_NAMES
@@ -76,8 +77,12 @@ __all__ = [
 ]
 
 
-class ManifestError(ValueError):
-    """A manifest failed validation; ``errors`` lists every problem."""
+class ManifestError(ExperimentError, ValueError):
+    """A manifest failed validation; ``errors`` lists every problem.
+
+    ``ValueError`` is kept in the bases for callers that predate the
+    :class:`~repro.experiments.errors.ExperimentError` taxonomy.
+    """
 
     def __init__(self, source: str, errors: Sequence[str]):
         self.source = source

@@ -88,6 +88,9 @@ from repro.cpu.stats import SimStats
 from repro.experiments import faults as faults_mod
 from repro.experiments import runner
 from repro.experiments.errors import (
+    EventStreamError,
+    ExperimentError,
+    InvalidConfigError,
     PointFailure,
     PointTimeoutError,
     ShardDiedError,
@@ -113,7 +116,8 @@ from repro.experiments.sweep import (
 sweep_mod = importlib.import_module("repro.experiments.sweep")
 
 __all__ = [
-    "EVENT_SCHEMA_VERSION", "ServiceConfig", "WorkUnit", "WorkOutcome",
+    "EVENT_SCHEMA", "EVENT_SCHEMA_VERSION",
+    "ServiceConfig", "WorkUnit", "WorkOutcome",
     "JsonlEventLog", "ShutdownRequest", "serve_sweep", "read_events",
     "follow_events", "summarize_events", "format_events_summary",
 ]
@@ -123,6 +127,53 @@ __all__ = [
 #: ``poisoned``, ``pool_restarted``, ``pool_retired``) and the
 #: ``status`` field on ``end`` records.
 EVENT_SCHEMA_VERSION = 2
+
+#: Declarative v2 event schema: kind -> required / optional payload
+#: keys.  The :class:`_Emitter` envelope (``v``, ``seq``, ``event``)
+#: is implicit and not listed.  This table is the single source of
+#: truth the ``event-schema`` lint rule checks every ``emit(...)``
+#: site and consumer against — add the key here *first* when growing
+#: an event, or the emit site becomes a lint error.
+EVENT_SCHEMA = {
+    "begin": {
+        "required": ("total", "cached", "preresolved", "poisoned",
+                     "shards", "jobs", "inline"),
+        "optional": ("run_id", "segment"),
+    },
+    "scheduled": {
+        "required": ("index", "label", "attempt", "shard"),
+    },
+    "requeued": {
+        "required": ("index", "label", "attempt", "shard"),
+    },
+    "completed": {
+        "required": ("index", "label", "attempt", "shard", "source",
+                     "seconds"),
+    },
+    "retried": {
+        "required": ("index", "label", "attempt", "shard", "kind",
+                     "next_attempt", "delay"),
+    },
+    "failed": {
+        "required": ("index", "label", "attempts", "shard", "kind",
+                     "message"),
+    },
+    "poisoned": {
+        "required": ("index", "label", "kind", "attempts", "message"),
+    },
+    "heartbeat": {
+        "required": ("shard", "incarnation", "live", "outstanding"),
+    },
+    "pool_restarted": {
+        "required": ("shard", "incarnation", "requeued", "error"),
+    },
+    "pool_retired": {
+        "required": ("shard", "requeued", "remaining", "error"),
+    },
+    "end": {
+        "required": ("status", "completed", "failed", "seconds"),
+    },
+}
 
 #: Scheduler poll period while shards supervise live workers.
 _POLL_SECONDS = 0.01
@@ -158,11 +209,13 @@ class ServiceConfig:
 
     def __post_init__(self) -> None:
         if self.shards < 1:
-            raise ValueError(f"shards must be >= 1, got {self.shards}")
+            raise InvalidConfigError(
+                f"shards must be >= 1, got {self.shards}")
         if self.jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+            raise InvalidConfigError(
+                f"jobs must be >= 1, got {self.jobs}")
         if self.max_pool_restarts < 0:
-            raise ValueError(
+            raise InvalidConfigError(
                 f"max_pool_restarts must be >= 0, "
                 f"got {self.max_pool_restarts}")
 
@@ -232,7 +285,7 @@ class WorkOutcome:
                 timeout=self.timeout)
         if self.status == "transient":
             return TransientError(self.message)
-        return RuntimeError(self.message)
+        return ExperimentError(self.message)
 
 
 def _outcome_from_reap(unit: WorkUnit, message: Tuple,
@@ -377,7 +430,9 @@ def read_events(path: Union[str, Path]) -> List[dict]:
     """Parse a JSONL event stream.
 
     A torn *final* line (a writer killed mid-append) is dropped; a torn
-    line anywhere else is corruption and raises ``ValueError``.
+    line anywhere else is corruption and raises
+    :class:`~repro.experiments.errors.EventStreamError` (a
+    ``ValueError`` subclass).
     """
     events: List[dict] = []
     lines = Path(path).read_text(encoding="utf-8").splitlines()
@@ -389,7 +444,7 @@ def read_events(path: Union[str, Path]) -> List[dict]:
         except json.JSONDecodeError as exc:
             if lineno == len(lines):
                 break  # torn tail from an interrupted writer
-            raise ValueError(
+            raise EventStreamError(
                 f"{path}:{lineno}: undecodable event line: {exc}"
             ) from exc
     return events
@@ -453,7 +508,9 @@ def summarize_events(events: Sequence[dict]) -> dict:
     segment).  ``segments`` counts ``begin`` records, i.e. how many
     run attempts the stream joins; ``status`` is the last ``end``
     record's status (``ok`` / ``failed`` / ``interrupted``, or None
-    for a stream still missing its trailer).
+    for a stream still missing its trailer).  ``unknown`` tallies
+    event kinds outside :data:`EVENT_SCHEMA` (a newer writer's
+    stream): counted for visibility, never fatal.
     """
     total = None
     completed: Dict[int, dict] = {}
@@ -471,6 +528,7 @@ def summarize_events(events: Sequence[dict]) -> dict:
     segments = 0
     elapsed = None
     status = None
+    unknown: Dict[str, int] = {}
     for event in events:
         kind = event.get("event")
         if kind == "begin":
@@ -506,6 +564,11 @@ def summarize_events(events: Sequence[dict]) -> dict:
         elif kind == "end":
             elapsed = event.get("seconds")
             status = event.get("status", status)
+        else:
+            # A kind this schema version does not know (a newer writer,
+            # or garbage): counted, never fatal — old readers must keep
+            # working on streams from newer services.
+            unknown[str(kind)] = unknown.get(str(kind), 0) + 1
     known = total if total is not None else (
         max(list(completed) + list(failed), default=-1) + 1)
     missing = sorted(set(range(known)) - set(completed) - set(failed))
@@ -527,6 +590,7 @@ def summarize_events(events: Sequence[dict]) -> dict:
         "segments": segments,
         "status": status,
         "sources": sources,
+        "unknown": unknown,
         "failures": [
             {"index": i, "label": f.get("label"),
              "kind": f.get("kind"), "message": f.get("message")}
@@ -559,6 +623,12 @@ def format_events_summary(summary: dict) -> str:
                      f"(quarantined on resume: {summary['poisoned']})")
     if summary.get("requeued"):
         lines.append(f"requeued:  {summary['requeued']}")
+    if summary.get("unknown"):
+        lines.append(
+            "unknown:   "
+            + ", ".join(f"{v} {k}"
+                        for k, v in sorted(summary["unknown"].items()))
+            + " (kinds from a newer schema version; ignored)")
     if summary.get("pool_restarts") or summary.get("pool_retired"):
         lines.append(f"pools:     {summary['pool_restarts']} "
                      f"restarted, {summary['pool_retired']} retired")
@@ -689,6 +759,7 @@ class _Scheduler:
             claimed.remove(unit)
         if outcome.status == OK:
             stats = SimStats.from_state(outcome.stats_state)
+            # lint: ordered[persist-before-append]
             if not self.config.inline:
                 # Process-pool workers counted/persisted on their side;
                 # mirror into this process, as sweep() does.  Inline
@@ -702,6 +773,7 @@ class _Scheduler:
                       attempt=attempt, shard=shard,
                       source=outcome.source,
                       seconds=round(outcome.seconds, 4))
+            # lint: ordered-end
             self._terminal()
             self.state.complete(index, SweepResult(
                 point, stats, outcome.miss_map, outcome.seconds,
@@ -785,7 +857,11 @@ async def _shard_loop(shard: int, incarnation: int, sched: _Scheduler,
                         continue
                     outcome = worker.result()
                 else:
-                    message = sweep_mod._reap(worker,
+                    # _reap is a poll in the common path (returns None
+                    # while the worker runs); it joins only a worker it
+                    # just terminated for exceeding point_timeout, with
+                    # a bounded 5s grace.
+                    message = sweep_mod._reap(worker,  # lint: allow[async-safety]
                                               config.point_timeout)
                     if message is None:
                         continue
@@ -810,10 +886,13 @@ async def _shard_loop(shard: int, incarnation: int, sched: _Scheduler,
         for worker, _unit in live:
             if config.inline:
                 continue
-            worker.proc.join(5.0)
+            # Teardown after terminate(): the shard is exiting and the
+            # loop has nothing left to schedule — a bounded join here
+            # beats orphaning a live simulation process.
+            worker.proc.join(5.0)  # lint: allow[async-safety]
             if worker.proc.is_alive():  # pragma: no cover
                 worker.proc.kill()
-                worker.proc.join()
+                worker.proc.join()  # lint: allow[async-safety]
             try:
                 worker.conn.close()
             except OSError:
@@ -842,7 +921,10 @@ async def _serve(sched: _Scheduler, config: ServiceConfig,
 
     def spawn(shard: int, incarnation: int) -> asyncio.Future:
         sched.heartbeats[shard] = time.monotonic()
-        return asyncio.ensure_future(_shard_loop(
+        # _shard_loop's residual blocking joins are waived at their
+        # sites (bounded reap/teardown); re-acknowledged here where the
+        # supervisor enters the coroutine.
+        return asyncio.ensure_future(_shard_loop(  # lint: allow[async-safety]
             shard, incarnation, sched, config, plan, ctx, plan_json))
 
     #: shard → (task, incarnation); retired shards drop out.
@@ -874,8 +956,8 @@ async def _serve(sched: _Scheduler, config: ServiceConfig,
                     task.cancel()
                     try:
                         await task
-                    except BaseException:
-                        pass
+                    except (asyncio.CancelledError, Exception):
+                        pass  # the stall itself is handled below
                     exc = ShardDiedError(
                         f"shard {shard} heartbeat stalled past "
                         f"{config.watchdog_timeout:.1f}s", shard=shard)

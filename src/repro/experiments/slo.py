@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import geomean
+from repro.experiments.errors import InvalidConfigError
 from repro.experiments.sweep import SweepResult, grid, sweep
 from repro.workloads.microservices import MICROSERVICE_NAMES
 
@@ -163,7 +164,7 @@ def fig19_slo_timeline(
     stats, _ = run_prefetcher(workload, prefetcher, scale=scale, **common)
     extra = stats.extra
     if "probe.request_p99" not in extra:
-        raise ValueError(
+        raise InvalidConfigError(
             f"{workload} carries no request-latency timelines; only "
             f"microservice workloads ({MICROSERVICE_NAMES}) have an "
             "open-loop arrival process"

@@ -1,0 +1,83 @@
+"""Committed lint baseline: accepted findings that don't fail CI.
+
+The baseline lets a new strict rule land without a big-bang fix-all
+commit: known findings are recorded (with a justification) in
+``.repro-lint-baseline.json`` and subtracted from every run.  Entries
+are matched by a fingerprint over ``rule | path | message`` — line
+numbers are deliberately excluded so unrelated edits above a baselined
+site don't resurrect it.  An entry matching nothing is *stale* and
+``repro lint --check-baseline`` fails on it, keeping the debt list
+honest as findings get fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def finding_fingerprint(rule: str, path: str, message: str) -> str:
+    payload = f"{rule}|{path}|{message}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Baseline entries, or ``[]`` when absent/unreadable/mismatched."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(data, dict) or \
+            data.get("version") != BASELINE_VERSION:
+        return []
+    entries = data.get("entries", [])
+    return [e for e in entries if isinstance(e, dict)
+            and isinstance(e.get("fingerprint"), str)]
+
+
+def apply_baseline(findings: Sequence[Finding], entries: List[dict],
+                   ) -> Tuple[List[Finding], int, List[str]]:
+    """``(surviving findings, suppressed count, stale fingerprints)``."""
+    known: Dict[str, dict] = {e["fingerprint"]: e for e in entries}
+    used: set = set()
+    out: List[Finding] = []
+    for f in findings:
+        fp = finding_fingerprint(f.rule, f.path, f.message)
+        if fp in known:
+            used.add(fp)
+        else:
+            out.append(f)
+    stale = sorted(fp for fp in known if fp not in used)
+    return out, len(findings) - len(out), stale
+
+
+def write_baseline(path: Path, findings: Sequence[Finding],
+                   justification: str = "accepted at baseline time",
+                   ) -> int:
+    """Record ``findings`` as the new baseline; returns entry count."""
+    seen = set()
+    entries = []
+    for f in sorted(findings, key=Finding.sort_key):
+        fp = finding_fingerprint(f.rule, f.path, f.message)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append({
+            "fingerprint": fp,
+            "rule": f.rule,
+            "path": f.path,
+            "message": f.message,
+            "justification": justification,
+        })
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return len(entries)

@@ -56,6 +56,42 @@ DEFAULT_FENCED_PATHS = (
     "src/repro/memory/policies.py",
 )
 
+#: Directories mapped to importable package roots when resolving
+#: ``import repro.x`` to a project file (ProjectGraph).
+DEFAULT_SRC_ROOTS = ("src",)
+
+#: Files whose ``async def`` bodies must stay free of blocking calls.
+DEFAULT_ASYNC_PATHS = (
+    "src/repro/experiments/service.py",
+    "src/repro/experiments/journal.py",
+)
+
+#: Files whose emitted-event dict literals and event consumers are
+#: checked against the declarative schema table.
+DEFAULT_EVENT_CONSUMER_PATHS = (
+    "src/repro/experiments/service.py",
+    "src/repro/experiments/journal.py",
+    "src/repro/cli.py",
+)
+
+#: Functions that must mention every event kind in the schema.
+DEFAULT_EVENT_EXHAUSTIVE_CONSUMERS = ("summarize_events",)
+
+#: Dataclasses whose constructor arguments cross the (remote-ready)
+#: transport boundary and must stay JSON-safe.
+DEFAULT_TRANSPORT_CLASSES = ("WorkUnit", "WorkOutcome")
+
+#: Directories where every ``raise`` must resolve to the taxonomy root.
+DEFAULT_TAXONOMY_PATHS = ("src/repro/experiments",)
+
+#: Files required to contain at least one ``# lint: ordered[...]``
+#: region — crash-consistency sequences must stay annotated.
+DEFAULT_ORDERED_PATHS = (
+    "src/repro/experiments/diskcache.py",
+    "src/repro/experiments/journal.py",
+    "src/repro/experiments/service.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -71,6 +107,18 @@ class LintConfig:
     #: Waiver kinds honored in source comments; removing one from the
     #: config turns the corresponding waivers off repo-wide.
     waivers: Tuple[str, ...] = ("ephemeral", "allow")
+    src_roots: Tuple[str, ...] = DEFAULT_SRC_ROOTS
+    async_paths: Tuple[str, ...] = DEFAULT_ASYNC_PATHS
+    #: ``path::NAME`` of the declarative event-schema dict literal.
+    event_schema_table: str = "src/repro/experiments/service.py::EVENT_SCHEMA"
+    event_consumer_paths: Tuple[str, ...] = DEFAULT_EVENT_CONSUMER_PATHS
+    event_exhaustive_consumers: Tuple[str, ...] = (
+        DEFAULT_EVENT_EXHAUSTIVE_CONSUMERS)
+    transport_classes: Tuple[str, ...] = DEFAULT_TRANSPORT_CLASSES
+    taxonomy_paths: Tuple[str, ...] = DEFAULT_TAXONOMY_PATHS
+    taxonomy_root: str = "ExperimentError"
+    ordered_paths: Tuple[str, ...] = DEFAULT_ORDERED_PATHS
+    baseline_file: str = ".repro-lint-baseline.json"
 
     def fingerprint(self) -> str:
         """Hash of everything that invalidates cached file results."""
@@ -91,7 +139,22 @@ _TABLE_KEYS = {
     "fenced-paths": "fenced_paths",
     "cache-file": "cache_file",
     "waivers": "waivers",
+    "src-roots": "src_roots",
+    "async-paths": "async_paths",
+    "event-schema-table": "event_schema_table",
+    "event-consumer-paths": "event_consumer_paths",
+    "event-exhaustive-consumers": "event_exhaustive_consumers",
+    "transport-classes": "transport_classes",
+    "taxonomy-paths": "taxonomy_paths",
+    "taxonomy-root": "taxonomy_root",
+    "ordered-paths": "ordered_paths",
+    "baseline-file": "baseline_file",
 }
+
+#: Keys holding a single string rather than a list of strings.
+_SCALAR_KEYS = frozenset({
+    "cache_file", "baseline_file", "event_schema_table", "taxonomy_root",
+})
 
 
 def find_project_root(start: Path) -> Path:
@@ -125,7 +188,7 @@ def load_config(root: Path) -> LintConfig:
                 f"unknown [tool.repro.lint] key {key!r}; expected one of "
                 f"{sorted(_TABLE_KEYS)}"
             )
-        if attr == "cache_file":
+        if attr in _SCALAR_KEYS:
             overrides[attr] = str(value)
         else:
             overrides[attr] = tuple(str(v) for v in value)

@@ -10,7 +10,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.lint.rules import (
+    AsyncSafetyRule,
+    BoundaryTransportRule,
+    CrashOrderingRule,
     DeterminismRule,
+    ErrorTaxonomyRule,
+    EventSchemaRule,
     HotLoopRule,
     PickleSafetyRule,
     SnapshotCoverageRule,
@@ -24,6 +29,11 @@ RULES: Dict[str, Rule] = {
         DeterminismRule(),
         HotLoopRule(),
         PickleSafetyRule(),
+        AsyncSafetyRule(),
+        EventSchemaRule(),
+        BoundaryTransportRule(),
+        ErrorTaxonomyRule(),
+        CrashOrderingRule(),
     )
 }
 

@@ -1,0 +1,289 @@
+"""async-safety: coroutines in the service stack must never block.
+
+The sharded sweep service (PR 8) runs its scheduler and every shard
+supervisor on one asyncio event loop; a single blocking call there
+stalls heartbeats for *all* shards and trips the watchdog.  For every
+``async def`` in the configured ``async-paths`` the rule flags:
+
+* **direct blocking calls** — ``time.sleep``, ``os.fsync``/``system``,
+  ``subprocess.*``, builtin ``open``, ``Path.read_text`` and friends,
+  ``Queue.get(timeout=None)``, and ``.join()`` on process/thread-named
+  receivers;
+* **transitive blocking calls** — the same set reached through the
+  :class:`~repro.lint.project.ProjectGraph` call graph (e.g. a shard
+  loop calling a sweep-engine helper that joins a worker process);
+  findings anchor at the first call edge inside the coroutine, which
+  is where a waiver belongs;
+* **unsafe signal handlers** — callbacks registered through
+  ``loop.add_signal_handler`` / ``signal.signal`` may only set flags
+  (``Event.set``-style calls, ``os.write``); anything else — and any
+  lambda handler — is flagged;
+* **``await`` under a synchronous lock** — holding ``with lock:``
+  across an ``await`` serializes the loop against foreign threads;
+  use ``asyncio.Lock`` with ``async with``.
+
+Per-function blocking sites are recorded for *every* scanned file (the
+transitive check needs them project-wide); findings are only raised
+for coroutines and handlers in ``async-paths``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import ERROR, Finding
+from repro.lint.rules.base import FileContext, Rule, dotted_name, finding_dict
+
+#: Absolute dotted names (after import-alias resolution) that block.
+_BLOCKING_EXACT = {
+    "time.sleep": "time.sleep()",
+    "os.fsync": "os.fsync()",
+    "os.fdatasync": "os.fdatasync()",
+    "os.system": "os.system()",
+    "os.popen": "os.popen()",
+    "os.wait": "os.wait()",
+    "os.waitpid": "os.waitpid()",
+    "socket.create_connection": "socket.create_connection()",
+    "urllib.request.urlopen": "urllib.request.urlopen()",
+}
+_BLOCKING_PREFIXES = ("subprocess.", "shutil.")
+#: Attribute calls that hit the filesystem regardless of receiver.
+_BLOCKING_SUFFIXES = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+#: ``x.join()`` blocks when ``x`` smells like a process or thread.
+_JOIN_RECEIVERS = ("proc", "process", "thread", "worker")
+
+#: Call names a signal handler may make: flag sets and async-safe
+#: wakeups only (``signal-safety`` in the POSIX sense).
+_HANDLER_SAFE_SUFFIXES = frozenset({
+    "set", "is_set", "clear", "put_nowait", "call_soon_threadsafe",
+    "append", "appendleft",
+})
+_HANDLER_SAFE_EXACT = frozenset({"os.write"})
+
+#: Registration calls whose second argument is a signal handler.
+_REGISTRATION_SUFFIXES = frozenset({"add_signal_handler"})
+
+
+def blocking_reason(node: ast.Call,
+                    imports: Dict[str, str]) -> Optional[str]:
+    """Why this call blocks the event loop, or None."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    if name == "open" and "open" not in imports:
+        return "builtin open()"
+    head, _, rest = name.partition(".")
+    target = imports.get(head)
+    absolute = f"{target}.{rest}" if (target and rest) else \
+        (target if target else name)
+    if absolute in _BLOCKING_EXACT:
+        return _BLOCKING_EXACT[absolute]
+    for prefix in _BLOCKING_PREFIXES:
+        if absolute.startswith(prefix):
+            return f"{absolute}()"
+    parts = name.rsplit(".", 2)
+    last = parts[-1]
+    if last in _BLOCKING_SUFFIXES:
+        return f".{last}() file I/O"
+    if last == "get":
+        for kw in node.keywords:
+            if kw.arg == "timeout" and \
+                    isinstance(kw.value, ast.Constant) and \
+                    kw.value.value is None:
+                return ".get(timeout=None)"
+    if last == "join" and len(parts) >= 2:
+        receiver = parts[-2].lower()
+        if any(tok in receiver for tok in _JOIN_RECEIVERS):
+            return f"{name}() process/thread join"
+    return None
+
+
+def _imports_of(tree: ast.Module) -> Dict[str, str]:
+    from repro.lint.project import _collect_imports
+    return _collect_imports(tree, None)
+
+
+class AsyncSafetyRule(Rule):
+    name = "async-safety"
+
+    def analyze(self, ctx: FileContext) -> dict:
+        imports = _imports_of(ctx.tree)
+        functions: Dict[str, dict] = {}
+
+        def record(fn: ast.AST, qual: str) -> None:
+            blocking: List[Tuple[str, int]] = []
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    reason = blocking_reason(node, imports)
+                    if reason:
+                        blocking.append((reason, node.lineno))
+            functions[qual] = {
+                "async": isinstance(fn, ast.AsyncFunctionDef),
+                "line": fn.lineno,
+                "blocking": blocking,
+            }
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                record(stmt, stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        record(sub, f"{stmt.name}.{sub.name}")
+
+        findings: List[dict] = []
+        handlers: List[Tuple[str, int]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                last = name.rsplit(".", 1)[-1] if name else ""
+                is_reg = last in _REGISTRATION_SUFFIXES or \
+                    name == "signal.signal"
+                if is_reg and len(node.args) >= 2:
+                    target = node.args[1]
+                    if isinstance(target, ast.Lambda):
+                        findings.append(finding_dict(
+                            self.name, ctx.path, target.lineno,
+                            target.col_offset,
+                            "signal handler is a lambda; register a "
+                            "named flag-set function so its body can "
+                            "be audited", ERROR))
+                    else:
+                        tname = dotted_name(target)
+                        if tname:
+                            handlers.append((tname, node.lineno))
+            elif isinstance(node, ast.With) and \
+                    self._locks_in_items(node):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Await):
+                        findings.append(finding_dict(
+                            self.name, ctx.path, sub.lineno,
+                            sub.col_offset,
+                            "'await' while holding a synchronous lock "
+                            "stalls the event loop; use asyncio.Lock "
+                            "with 'async with'", ERROR))
+                        break
+        return {"functions": functions, "handlers": handlers,
+                "findings": findings}
+
+    @staticmethod
+    def _locks_in_items(node: ast.With) -> bool:
+        for item in node.items:
+            name = dotted_name(item.context_expr)
+            if name is None and isinstance(item.context_expr, ast.Call):
+                name = dotted_name(item.context_expr.func)
+            if name and "lock" in name.rsplit(".", 1)[-1].lower():
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def report(self, payloads: Dict[str, dict], config: LintConfig,
+               graph=None) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(payloads):
+            for f in payloads[path].get("findings", ()):
+                findings.append(Finding(**f))
+        if graph is None:
+            return findings
+        for path in sorted(payloads):
+            if path not in config.async_paths:
+                continue
+            payload = payloads[path]
+            for qual, info in sorted(payload.get("functions",
+                                                 {}).items()):
+                if not info["async"]:
+                    continue
+                findings.extend(self._check_coroutine(
+                    path, qual, info, payloads, graph))
+            for hname, line in payload.get("handlers", ()):
+                findings.extend(self._check_handler(
+                    path, hname, line, payloads, graph))
+        return findings
+
+    def _check_coroutine(self, path: str, qual: str, info: dict,
+                         payloads: Dict[str, dict],
+                         graph) -> List[Finding]:
+        findings: List[Finding] = []
+        for reason, line in info["blocking"]:
+            findings.append(Finding(
+                rule=self.name, path=path, line=line, col=0,
+                message=f"blocking call {reason} inside "
+                        f"'async def {qual}' stalls the event loop",
+                severity=ERROR))
+        # Transitive: chase call edges; anchor at the first hop so the
+        # waiver sits next to the call that imports the blockage.
+        visited: Set[Tuple[str, str]] = {(path, qual)}
+        flagged: Set[Tuple[str, str]] = set()
+        root_info = graph.lookup(path, qual)
+        if root_info is None:
+            return findings
+        stack: List[Tuple[str, str, int, str, int]] = []
+        for name, line in root_info["calls"]:
+            target = graph.resolve_call(path, qual, name)
+            if target and target != (path, qual):
+                stack.append((target[0], target[1], line, name, 0))
+        while stack:
+            tpath, tqual, anchor, via, depth = stack.pop()
+            if (tpath, tqual) in visited or depth > 8:
+                continue
+            visited.add((tpath, tqual))
+            blocking = payloads.get(tpath, {}).get(
+                "functions", {}).get(tqual, {}).get("blocking", ())
+            for reason, bline in blocking:
+                key = (tpath, f"{tqual}:{reason}")
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                findings.append(Finding(
+                    rule=self.name, path=path, line=anchor, col=0,
+                    message=(
+                        f"'async def {qual}' reaches blocking call "
+                        f"{reason} in {tqual} ({tpath}:{bline}) via "
+                        f"{via}"),
+                    severity=ERROR))
+            ginfo = graph.lookup(tpath, tqual)
+            if ginfo is None:
+                continue
+            for name, _line in ginfo["calls"]:
+                target = graph.resolve_call(tpath, tqual, name)
+                if target:
+                    stack.append((target[0], target[1], anchor, via,
+                                  depth + 1))
+        return findings
+
+    def _check_handler(self, path: str, hname: str, line: int,
+                       payloads: Dict[str, dict],
+                       graph) -> List[Finding]:
+        target = graph.resolve_call(path, "", hname)
+        if target is None:
+            return []
+        tinfo = graph.lookup(target[0], target[1])
+        if tinfo is None:
+            return []
+        findings: List[Finding] = []
+        tpayload = payloads.get(target[0], {})
+        pinfo = tpayload.get("functions", {}).get(target[1], {})
+        for reason, bline in pinfo.get("blocking", ()):
+            findings.append(Finding(
+                rule=self.name, path=path, line=line, col=0,
+                message=f"signal handler {hname} makes blocking call "
+                        f"{reason} ({target[0]}:{bline})",
+                severity=ERROR))
+        for cname, cline in tinfo["calls"]:
+            last = cname.rsplit(".", 1)[-1]
+            if last in _HANDLER_SAFE_SUFFIXES or \
+                    cname in _HANDLER_SAFE_EXACT:
+                continue
+            findings.append(Finding(
+                rule=self.name, path=path, line=line, col=0,
+                message=(
+                    f"signal handler {hname} calls {cname} "
+                    f"({target[0]}:{cline}); handlers are restricted "
+                    "to flag-set and signal-safe operations"),
+                severity=ERROR))
+        return findings

@@ -26,6 +26,9 @@ class Directives:
     allows: Dict[int, Set[str]] = field(default_factory=dict)
     #: ``# lint: hot-begin`` .. ``# lint: hot-end`` line ranges.
     fences: List[Tuple[int, int]] = field(default_factory=list)
+    #: ``# lint: ordered[template]`` .. ``# lint: ordered-end`` regions
+    #: as ``(lo, hi, template)`` (crash-ordering rule).
+    ordered: List[Tuple[int, int, str]] = field(default_factory=list)
     #: Malformed directive messages, reported as findings.
     problems: List[Tuple[int, str]] = field(default_factory=list)
 
@@ -46,6 +49,7 @@ def scan_directives(source: str, config: LintConfig) -> Directives:
     """Parse every ``# lint:`` comment in a file (1-indexed lines)."""
     out = Directives()
     open_fence: Optional[int] = None
+    open_ordered: Optional[Tuple[int, str]] = None
     for lineno, text in _comment_tokens(source):
         m = _DIRECTIVE_RE.match(text)
         if not m:
@@ -72,10 +76,27 @@ def scan_directives(source: str, config: LintConfig) -> Directives:
             else:
                 out.fences.append((open_fence, lineno))
                 open_fence = None
+        elif kind == "ordered":
+            if not payload or not payload.strip():
+                out.problems.append(
+                    (lineno, "ordered region needs a template name: "
+                             "# lint: ordered[template]"))
+            elif open_ordered is not None:
+                out.problems.append((lineno, "nested ordered region"))
+            else:
+                open_ordered = (lineno, payload.strip())
+        elif kind == "ordered-end":
+            if open_ordered is None:
+                out.problems.append((lineno, "ordered-end without ordered"))
+            else:
+                out.ordered.append((open_ordered[0], lineno, open_ordered[1]))
+                open_ordered = None
         else:
             out.problems.append((lineno, f"unknown lint directive {kind!r}"))
     if open_fence is not None:
         out.problems.append((open_fence, "hot-begin fence never closed"))
+    if open_ordered is not None:
+        out.problems.append((open_ordered[0], "ordered region never closed"))
     return out
 
 
@@ -107,9 +128,13 @@ class Rule:
     def analyze(self, ctx: FileContext) -> dict:
         raise NotImplementedError
 
-    def report(self, payloads: Dict[str, dict],
-               config: LintConfig) -> list:
-        """Default: findings were emitted inline during ``analyze``."""
+    def report(self, payloads: Dict[str, dict], config: LintConfig,
+               graph=None) -> list:
+        """Default: findings were emitted inline during ``analyze``.
+
+        ``graph`` is the shared :class:`repro.lint.project.ProjectGraph`
+        built once per run; per-file rules may ignore it.
+        """
         from repro.lint.findings import Finding
         out = []
         for path in sorted(payloads):

@@ -1,0 +1,264 @@
+"""event-schema: producers and consumers agree on the v2 event table.
+
+``EVENT_SCHEMA`` in :mod:`repro.experiments.service` (configurable via
+``event-schema-table = "path::NAME"``) is the single declarative source
+of truth for the progress-event protocol: event kind → required and
+optional payload keys (beyond the ``v``/``seq``/``event`` envelope the
+emitter adds).  Against that table the rule checks, statically:
+
+* **emit sites** — every ``emit("kind", key=...)``-shaped call (a
+  callable whose name ends in ``emit`` with a string-literal first
+  argument) must use a known kind, pass every required key, and pass
+  no key the schema doesn't declare (``**extra`` splats skip the
+  required-key check — the ``begin`` record's run-info merge);
+* **consumer dispatch** — string literals compared against a value
+  read from ``event["event"]`` / ``.get("event")`` must be known
+  kinds, so a consumer can't silently dispatch on a kind that nothing
+  emits;
+* **exhaustive consumers** — functions listed under
+  ``event-exhaustive-consumers`` (``summarize_events``) must mention
+  every schema kind, so adding an event without teaching the
+  summarizer fails the lint, not the dashboard.
+
+Only files under ``event-consumer-paths`` are checked; the rule is
+inert when the schema table's file is outside the scan set (fixture
+trees opt in through their own config).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import ERROR, Finding
+from repro.lint.rules.base import FileContext, Rule, dotted_name
+
+
+def _split_table(spec: str) -> Tuple[str, str]:
+    path, _, name = spec.partition("::")
+    return path, name or "EVENT_SCHEMA"
+
+
+def _extract_schema(tree: ast.Module, name: str) -> Optional[dict]:
+    """The literal schema dict assigned to ``name`` at module level."""
+    for stmt in tree.body:
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets = [t.id for t in stmt.targets
+                       if isinstance(t, ast.Name)]
+            if name in targets:
+                value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name) and \
+                stmt.target.id == name:
+            value = stmt.value
+        if value is None:
+            continue
+        try:
+            raw = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            return None
+        if not isinstance(raw, dict):
+            return None
+        schema = {}
+        for kind, spec in raw.items():
+            if not isinstance(kind, str) or not isinstance(spec, dict):
+                return None
+            schema[kind] = {
+                "required": [str(k) for k in spec.get("required", ())],
+                "optional": [str(k) for k in spec.get("optional", ())],
+            }
+        return schema
+    return None
+
+
+def _event_kind_vars(fn: ast.AST) -> Set[str]:
+    """Names assigned from ``X["event"]`` / ``X.get("event", ...)``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _is_event_read(node.value):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+def _is_event_read(node: ast.AST) -> bool:
+    if isinstance(node, ast.Subscript):
+        key = node.slice
+        if isinstance(key, ast.Index):  # pragma: no cover - py38 form
+            key = key.value
+        return isinstance(key, ast.Constant) and key.value == "event"
+    if isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Attribute) and \
+            node.func.attr == "get" and node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and \
+            first.value == "event"
+    return False
+
+
+class EventSchemaRule(Rule):
+    name = "event-schema"
+
+    def analyze(self, ctx: FileContext) -> dict:
+        table_path, table_name = _split_table(
+            ctx.config.event_schema_table)
+        payload: Dict[str, object] = {"findings": []}
+        if ctx.path == table_path:
+            schema = _extract_schema(ctx.tree, table_name)
+            if schema is None:
+                payload["schema_error"] = (
+                    f"event schema table {table_name!r} is missing or "
+                    "not a literal dict of "
+                    "{kind: {required/optional: [...]}}")
+            else:
+                payload["schema"] = schema
+        if ctx.path not in ctx.config.event_consumer_paths and \
+                ctx.path != table_path:
+            return payload
+
+        emits: List[dict] = []
+        consumed: List[Tuple[str, int]] = []
+        exhaustive: Dict[str, dict] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and name.rsplit(".", 1)[-1] == "emit" and \
+                        node.args and \
+                        isinstance(node.args[0], ast.Constant) and \
+                        isinstance(node.args[0].value, str):
+                    emits.append({
+                        "kind": node.args[0].value,
+                        "line": node.lineno,
+                        "keys": sorted(kw.arg for kw in node.keywords
+                                       if kw.arg is not None),
+                        "splat": any(kw.arg is None
+                                     for kw in node.keywords),
+                    })
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                kind_vars = _event_kind_vars(node)
+                consumed.extend(self._kind_literals(node, kind_vars))
+                if node.name in ctx.config.event_exhaustive_consumers:
+                    strings = sorted({
+                        sub.value for sub in ast.walk(node)
+                        if isinstance(sub, ast.Constant)
+                        and isinstance(sub.value, str)
+                    })
+                    exhaustive[node.name] = {"line": node.lineno,
+                                             "strings": strings}
+        payload.update({"emits": emits, "consumed": consumed,
+                        "exhaustive": exhaustive})
+        return payload
+
+    @staticmethod
+    def _kind_literals(fn: ast.AST,
+                       kind_vars: Set[str]) -> List[Tuple[str, int]]:
+        """String literals compared against an event-kind read."""
+        out: List[Tuple[str, int]] = []
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Compare):
+                continue
+            left_is_kind = _is_event_read(node.left) or (
+                isinstance(node.left, ast.Name)
+                and node.left.id in kind_vars)
+            if not left_is_kind:
+                continue
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and \
+                        isinstance(comparator, ast.Constant) and \
+                        isinstance(comparator.value, str):
+                    out.append((comparator.value, node.lineno))
+                elif isinstance(op, (ast.In, ast.NotIn)) and \
+                        isinstance(comparator, (ast.Tuple, ast.List,
+                                                ast.Set)):
+                    for elt in comparator.elts:
+                        if isinstance(elt, ast.Constant) and \
+                                isinstance(elt.value, str):
+                            out.append((elt.value, node.lineno))
+        return out
+
+    # ------------------------------------------------------------------
+    def report(self, payloads: Dict[str, dict], config: LintConfig,
+               graph=None) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(payloads):
+            for f in payloads[path].get("findings", ()):
+                findings.append(Finding(**f))
+        table_path, _ = _split_table(config.event_schema_table)
+        schema = None
+        for path, payload in payloads.items():
+            if "schema_error" in payload:
+                findings.append(Finding(
+                    rule=self.name, path=path, line=1, col=0,
+                    message=str(payload["schema_error"]),
+                    severity=ERROR))
+            if "schema" in payload:
+                schema = payload["schema"]
+        if schema is None:
+            return findings  # table not in the scan set: rule inert
+        kinds = set(schema)
+        for path in sorted(payloads):
+            payload = payloads[path]
+            for emit in payload.get("emits", ()):
+                findings.extend(self._check_emit(path, emit, schema))
+            for kind, line in payload.get("consumed", ()):
+                if kind not in kinds:
+                    findings.append(Finding(
+                        rule=self.name, path=path, line=line, col=0,
+                        message=(
+                            f"consumer dispatches on event kind "
+                            f"{kind!r} which is not in the schema "
+                            f"table ({table_path})"),
+                        severity=ERROR))
+            for fname, info in sorted(
+                    payload.get("exhaustive", {}).items()):
+                missing = sorted(kinds - set(info["strings"]))
+                if missing:
+                    findings.append(Finding(
+                        rule=self.name, path=path,
+                        line=info["line"], col=0,
+                        message=(
+                            f"{fname} must handle every schema event "
+                            f"kind; missing: {', '.join(missing)}"),
+                        severity=ERROR))
+        return findings
+
+    def _check_emit(self, path: str, emit: dict,
+                    schema: dict) -> List[Finding]:
+        kind = emit["kind"]
+        line = emit["line"]
+        if kind not in schema:
+            return [Finding(
+                rule=self.name, path=path, line=line, col=0,
+                message=f"emit of unknown event kind {kind!r}; add it "
+                        "to the schema table first",
+                severity=ERROR)]
+        spec = schema[kind]
+        keys = set(emit["keys"])
+        known = set(spec["required"]) | set(spec["optional"])
+        out: List[Finding] = []
+        if not emit["splat"]:
+            missing = sorted(set(spec["required"]) - keys)
+            if missing:
+                out.append(Finding(
+                    rule=self.name, path=path, line=line, col=0,
+                    message=(
+                        f"emit of {kind!r} is missing required "
+                        f"key(s): {', '.join(missing)}"),
+                    severity=ERROR))
+        unknown = sorted(keys - known)
+        if unknown:
+            out.append(Finding(
+                rule=self.name, path=path, line=line, col=0,
+                message=(
+                    f"emit of {kind!r} passes undeclared key(s): "
+                    f"{', '.join(unknown)}; declare them in the "
+                    "schema table"),
+                severity=ERROR))
+        return out

@@ -203,8 +203,8 @@ class SnapshotCoverageRule(Rule):
         return {"classes": classes, "findings": []}
 
     # ------------------------------------------------------------------
-    def report(self, payloads: Dict[str, dict],
-               config: LintConfig) -> List[Finding]:
+    def report(self, payloads: Dict[str, dict], config: LintConfig,
+               graph=None) -> List[Finding]:
         # name -> (path, info); simple names are unique in this repo.
         index: Dict[str, Tuple[str, dict]] = {}
         for path in sorted(payloads):

@@ -1,0 +1,217 @@
+"""error-taxonomy: experiment errors resolve to the PR-4 taxonomy.
+
+Everything under ``taxonomy-paths`` (``src/repro/experiments``) sits
+behind retry/poison/resume machinery that classifies failures by
+``isinstance`` against :class:`~repro.experiments.errors.
+ExperimentError`; a bare ``ValueError`` escaping a worker is retried
+as if it were transient noise and invisible to the failure report.
+The rule enforces, through the :class:`~repro.lint.project.
+ProjectGraph` class hierarchy (multiple inheritance included — the
+``class FooError(ExperimentError, ValueError)`` mixin idiom keeps
+old ``pytest.raises(ValueError)`` contracts alive):
+
+* every ``raise SomeClass(...)`` resolves to a subclass of the
+  configured ``taxonomy-root`` — builtin exceptions are flagged
+  (``NotImplementedError``/``StopIteration``/``StopAsyncIteration``
+  exempt), foreign project classes are flagged, and a ``raise
+  factory(...)`` is followed one call-graph hop into the factory's
+  ``return SomeClass(...)`` statements;
+* no ``except`` clause swallows ``BaseException``,
+  ``KeyboardInterrupt``, or ``SweepInterrupted`` without re-raising —
+  graceful shutdown depends on those reaching the supervisor.
+
+``raise`` of a plain name (re-raise of a caught or stored error) is
+out of scope; so is anything the graph cannot resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import ERROR, Finding
+from repro.lint.rules.base import FileContext, Rule, dotted_name, finding_dict
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+#: Builtins with control-flow or protocol semantics, not failures.
+_EXEMPT_BUILTINS = frozenset({
+    "NotImplementedError", "StopIteration", "StopAsyncIteration",
+    "GeneratorExit", "SystemExit",
+})
+#: Exception names an ``except`` clause must not swallow.
+_NEVER_SWALLOW = frozenset({
+    "BaseException", "KeyboardInterrupt", "SweepInterrupted",
+})
+
+
+def _in_taxonomy_paths(path: str, config: LintConfig) -> bool:
+    return any(path == p or path.startswith(p.rstrip("/") + "/")
+               for p in config.taxonomy_paths)
+
+
+class ErrorTaxonomyRule(Rule):
+    name = "error-taxonomy"
+
+    def analyze(self, ctx: FileContext) -> dict:
+        if not _in_taxonomy_paths(ctx.path, ctx.config):
+            return {"findings": []}
+        findings: List[dict] = []
+        raises: List[dict] = []
+        returns: Dict[str, List[List]] = {}
+
+        def qual_of(node: ast.AST,
+                    stack: List[str]) -> str:
+            return ".".join(stack) if stack else "<module>"
+
+        def visit(body, stack: List[str]) -> None:
+            for stmt in body:
+                if isinstance(stmt, ast.ClassDef):
+                    visit(stmt.body, stack + [stmt.name])
+                elif isinstance(stmt, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    scan_function(stmt, stack + [stmt.name])
+                else:
+                    scan_statement(stmt, stack)
+
+        def scan_function(fn: ast.AST, stack: List[str]) -> None:
+            qual = ".".join(stack[-2:])
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Raise):
+                    record_raise(node, qual)
+                elif isinstance(node, ast.Return) and \
+                        isinstance(node.value, ast.Call):
+                    name = dotted_name(node.value.func)
+                    if name:
+                        returns.setdefault(qual, []).append(
+                            [name, node.lineno])
+                elif isinstance(node, ast.ExceptHandler):
+                    check_handler(node)
+
+        def scan_statement(stmt: ast.AST, stack: List[str]) -> None:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    record_raise(node, qual_of(node, stack))
+                elif isinstance(node, ast.ExceptHandler):
+                    check_handler(node)
+
+        def record_raise(node: ast.Raise, qual: str) -> None:
+            if not isinstance(node.exc, ast.Call):
+                return  # bare re-raise / stored error: out of scope
+            name = dotted_name(node.exc.func)
+            if name:
+                raises.append({"name": name, "line": node.lineno,
+                               "qual": qual})
+
+        def check_handler(node: ast.ExceptHandler) -> None:
+            caught = self._caught_names(node)
+            bad = sorted(
+                name for name in caught
+                if name.rsplit(".", 1)[-1] in _NEVER_SWALLOW
+            )
+            if node.type is None:
+                bad = ["(bare except)"]
+            if not bad:
+                return
+            reraises = any(isinstance(sub, ast.Raise)
+                           for sub in ast.walk(node))
+            if not reraises:
+                findings.append(finding_dict(
+                    self.name, ctx.path, node.lineno,
+                    node.col_offset,
+                    f"except clause swallows {', '.join(bad)} without "
+                    "re-raising; shutdown and interrupt signals must "
+                    "reach the supervisor", ERROR))
+
+        visit(ctx.tree.body, [])
+        return {"findings": findings, "raises": raises,
+                "returns": returns}
+
+    @staticmethod
+    def _caught_names(node: ast.ExceptHandler) -> List[str]:
+        if node.type is None:
+            return []
+        exprs = node.type.elts if isinstance(node.type, ast.Tuple) \
+            else [node.type]
+        out = []
+        for expr in exprs:
+            name = dotted_name(expr)
+            if name:
+                out.append(name)
+        return out
+
+    # ------------------------------------------------------------------
+    def report(self, payloads: Dict[str, dict], config: LintConfig,
+               graph=None) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(payloads):
+            for f in payloads[path].get("findings", ()):
+                findings.append(Finding(**f))
+        if graph is None:
+            return findings
+        closure = graph.class_closure(config.taxonomy_root)
+        if not closure:
+            return findings  # taxonomy root not in the scan set
+        for path in sorted(payloads):
+            for entry in payloads[path].get("raises", ()):
+                findings.extend(self._check_raise(
+                    path, entry, closure, payloads, config, graph))
+        return findings
+
+    def _check_raise(self, path: str, entry: dict,
+                     closure: Set[Tuple[str, str]],
+                     payloads: Dict[str, dict], config: LintConfig,
+                     graph) -> List[Finding]:
+        name, line = entry["name"], entry["line"]
+        verdict = self._classify(path, name, closure, config, graph)
+        if verdict == "ok":
+            return []
+        if verdict is not None:
+            return [Finding(rule=self.name, path=path, line=line,
+                            col=0, message=verdict, severity=ERROR)]
+        # Not a class: maybe a factory — follow one call-graph hop
+        # into its ``return SomeError(...)`` statements.
+        target = graph.resolve_call(path, entry.get("qual", ""), name)
+        if target is None:
+            return []
+        tpath, tqual = target
+        out: List[Finding] = []
+        for rname, rline in payloads.get(tpath, {}).get(
+                "returns", {}).get(tqual, ()):
+            verdict = self._classify(tpath, rname, closure, config,
+                                     graph)
+            if verdict not in (None, "ok"):
+                out.append(Finding(
+                    rule=self.name, path=tpath, line=rline, col=0,
+                    message=(
+                        f"factory {tqual} (raised at {path}:{line}) "
+                        f"returns: {verdict}"),
+                    severity=ERROR))
+        return out
+
+    @staticmethod
+    def _classify(path: str, name: str,
+                  closure: Set[Tuple[str, str]], config: LintConfig,
+                  graph) -> Optional[str]:
+        """'ok', a violation message, or None (not a class)."""
+        site = graph.resolve_class(path, name)
+        if site is not None:
+            if tuple(site) in closure:
+                return "ok"
+            return (f"raises {name} which is not a "
+                    f"{config.taxonomy_root} subclass; add the "
+                    f"taxonomy mixin (class X({config.taxonomy_root}, "
+                    "...)) or a waiver")
+        last = name.rsplit(".", 1)[-1]
+        if last in _BUILTIN_EXCEPTIONS:
+            if last in _EXEMPT_BUILTINS:
+                return "ok"
+            return (f"raises builtin {last}; raise a "
+                    f"{config.taxonomy_root} subclass so retry and "
+                    "failure accounting can classify it")
+        return None

@@ -1,0 +1,141 @@
+"""boundary-transport: WorkUnit/WorkOutcome payloads stay JSON-safe.
+
+The service's queue/result protocol (``WorkUnit`` / ``WorkOutcome``)
+is deliberately flat and JSON-serializable — that is the whole remote
+story: a future remote pool serializes the same two messages over a
+socket.  ``pickle-safety`` guards the *current* fork boundary; this
+rule guards the *declared* one: every expression passed to a
+transport-class constructor is checked against JSON's type lattice.
+
+Flagged value expressions (with one level of local dataflow — a name
+is traced to its nearest preceding assignment in the same function):
+
+* lambdas, generator expressions, set literals/comprehensions;
+* ``bytes`` literals and calls to ``set``/``frozenset``/``bytes``/
+  ``bytearray``/``memoryview``/``open``;
+* ``pathlib`` constructors (``Path(...)`` serializes as a string only
+  if someone remembers to convert — require the conversion at the
+  construction site);
+* dict displays with non-string literal keys.
+
+Anything the rule cannot classify (attribute loads, subscripts, calls
+into user code) passes — like the rest of the linter, missed edges
+cost recall, never false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lint.findings import ERROR
+from repro.lint.rules.base import FileContext, Rule, dotted_name, finding_dict
+
+_UNSAFE_CALLS = frozenset({
+    "set", "frozenset", "bytes", "bytearray", "memoryview", "open",
+    "Path", "PurePath", "PosixPath", "WindowsPath", "PurePosixPath",
+    "PureWindowsPath",
+})
+
+
+def _json_unsafe_reason(node: ast.AST) -> Optional[str]:
+    """Why this expression can't cross a JSON boundary, or None."""
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+        return "a bytes literal"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name:
+            last = name.rsplit(".", 1)[-1]
+            if last in _UNSAFE_CALLS:
+                return f"a {last}() value"
+    if isinstance(node, ast.Dict):
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and \
+                    not isinstance(key.value, str):
+                return (f"a dict with non-string key "
+                        f"{key.value!r}")
+    return None
+
+
+class BoundaryTransportRule(Rule):
+    name = "boundary-transport"
+
+    def analyze(self, ctx: FileContext) -> dict:
+        findings: List[dict] = []
+        transport = set(ctx.config.transport_classes)
+
+        functions = [n for n in ast.walk(ctx.tree)
+                     if isinstance(n, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name or name.rsplit(".", 1)[-1] not in transport:
+                continue
+            cls = name.rsplit(".", 1)[-1]
+            scope = self._enclosing(functions, node.lineno)
+            for pos, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    continue
+                self._check_value(ctx, cls, f"positional arg {pos}",
+                                  arg, scope, findings)
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                self._check_value(ctx, cls, f"field '{kw.arg}'",
+                                  kw.value, scope, findings)
+        return {"findings": findings}
+
+    @staticmethod
+    def _enclosing(functions: List[ast.AST],
+                   line: int) -> Optional[ast.AST]:
+        best = None
+        for fn in functions:
+            lo = fn.lineno
+            hi = getattr(fn, "end_lineno", lo)
+            if lo <= line <= hi and \
+                    (best is None or lo >= best.lineno):
+                best = fn
+        return best
+
+    def _check_value(self, ctx: FileContext, cls: str, slot: str,
+                     value: ast.AST, scope: Optional[ast.AST],
+                     findings: List[dict]) -> None:
+        reason = _json_unsafe_reason(value)
+        if reason is None and isinstance(value, ast.Name) and scope:
+            source = self._local_source(scope, value)
+            if source is not None:
+                reason = _json_unsafe_reason(source)
+                if reason is not None:
+                    reason = (f"{reason} (assigned to "
+                              f"'{value.id}' at line "
+                              f"{source.lineno})")
+        if reason is not None:
+            findings.append(finding_dict(
+                self.name, ctx.path, value.lineno, value.col_offset,
+                f"{cls} {slot} receives {reason}; transport payloads "
+                "must be JSON-serializable (see WorkUnit.to_spec)",
+                ERROR))
+
+    @staticmethod
+    def _local_source(scope: ast.AST,
+                      use: ast.Name) -> Optional[ast.AST]:
+        """Nearest single-target assignment to ``use`` above it."""
+        best: Optional[ast.Assign] = None
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            if node.lineno >= use.lineno:
+                continue
+            if any(isinstance(t, ast.Name) and t.id == use.id
+                   for t in node.targets):
+                if best is None or node.lineno > best.lineno:
+                    best = node
+        return best.value if best is not None else None

@@ -635,6 +635,772 @@ class TestCli:
 
 
 # ======================================================================
+# async-safety
+# ======================================================================
+ASYNC_PYPROJECT = """\
+[project]
+name = 'fixture'
+[tool.repro.lint]
+async-paths = ['src/repro/svc.py']
+"""
+
+
+class TestAsyncSafety:
+    def test_direct_blocking_call_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/svc.py": """\
+            import time
+
+            async def pump():
+                time.sleep(0.1)
+            """}, pyproject=ASYNC_PYPROJECT)
+        report = lint(tmp_path, rules=["async-safety"])
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "time.sleep" in f.message and "pump" in f.message
+        assert f.path == "src/repro/svc.py" and f.line == 4
+
+    def test_awaiting_twin_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/svc.py": """\
+            import asyncio
+
+            async def pump():
+                await asyncio.sleep(0.1)
+            """}, pyproject=ASYNC_PYPROJECT)
+        assert lint(tmp_path, rules=["async-safety"]).findings == []
+
+    def test_outside_async_paths_not_reported(self, tmp_path):
+        project(tmp_path, {"src/repro/other.py": """\
+            import time
+
+            async def pump():
+                time.sleep(0.1)
+            """}, pyproject=ASYNC_PYPROJECT)
+        assert lint(tmp_path, rules=["async-safety"]).findings == []
+
+    def test_transitive_blocking_anchored_at_first_hop(self, tmp_path):
+        project(tmp_path, {
+            "src/repro/helper.py": """\
+                import time
+
+                def flush():
+                    time.sleep(1.0)
+                """,
+            "src/repro/svc.py": """\
+                from repro import helper
+
+                async def pump():
+                    helper.flush()
+                """,
+        }, pyproject=ASYNC_PYPROJECT)
+        report = lint(tmp_path, rules=["async-safety"])
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        # Anchored at the call edge inside the coroutine, not at the
+        # blocking site in the other file.
+        assert f.path == "src/repro/svc.py" and f.line == 4
+        assert "time.sleep" in f.message and "flush" in f.message
+
+    def test_allow_waiver_suppresses(self, tmp_path):
+        project(tmp_path, {
+            "src/repro/helper.py": """\
+                import time
+
+                def flush():
+                    time.sleep(1.0)
+                """,
+            "src/repro/svc.py": """\
+                from repro import helper
+
+                async def pump():
+                    helper.flush()  # lint: allow[async-safety]
+                """,
+        }, pyproject=ASYNC_PYPROJECT)
+        assert lint(tmp_path, rules=["async-safety"]).findings == []
+
+    def test_lambda_signal_handler_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/svc.py": """\
+            import signal
+
+            def install(loop, stop):
+                loop.add_signal_handler(
+                    signal.SIGINT, lambda: stop.set())
+            """}, pyproject=ASYNC_PYPROJECT)
+        report = lint(tmp_path, rules=["async-safety"])
+        assert any("lambda" in f.message for f in report.findings)
+
+    def test_blocking_signal_handler_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/svc.py": """\
+            import signal
+            import time
+
+            class Stop:
+                def slow(self, signum=None):
+                    time.sleep(1.0)
+
+            def install(loop, stop):
+                loop.add_signal_handler(
+                    signal.SIGINT, stop.slow, signal.SIGINT)
+            """}, pyproject=ASYNC_PYPROJECT)
+        report = lint(tmp_path, rules=["async-safety"])
+        assert any("signal handler" in f.message
+                   and "time.sleep" in f.message
+                   for f in report.findings)
+
+    def test_flag_set_signal_handler_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/svc.py": """\
+            import signal
+            import threading
+
+            class Stop:
+                def __init__(self):
+                    self._event = threading.Event()
+
+                def request(self, signum=None):
+                    self._event.set()
+
+            def install(loop, stop):
+                loop.add_signal_handler(
+                    signal.SIGINT, stop.request, signal.SIGINT)
+            """}, pyproject=ASYNC_PYPROJECT)
+        assert lint(tmp_path, rules=["async-safety"]).findings == []
+
+    def test_await_under_sync_lock_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/svc.py": """\
+            import asyncio
+            import threading
+
+            class Pump:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def run(self):
+                    with self._lock:
+                        await asyncio.sleep(0)
+            """}, pyproject=ASYNC_PYPROJECT)
+        report = lint(tmp_path, rules=["async-safety"])
+        assert any("synchronous lock" in f.message
+                   for f in report.findings)
+
+
+# ======================================================================
+# event-schema
+# ======================================================================
+EVENT_PYPROJECT = """\
+[project]
+name = 'fixture'
+[tool.repro.lint]
+event-schema-table = 'src/repro/svc.py::EVENT_SCHEMA'
+event-consumer-paths = ['src/repro/svc.py', 'src/repro/consume.py']
+event-exhaustive-consumers = ['summarize']
+"""
+
+EVENT_TABLE = """\
+EVENT_SCHEMA = {
+    "begin": {"required": ("total",), "optional": ("run_id",)},
+    "end": {"required": ("status",)},
+}
+"""
+
+
+class TestEventSchema:
+    def lint_events(self, tmp_path, svc_extra="", consume=None):
+        files = {"src/repro/svc.py":
+                 EVENT_TABLE + textwrap.dedent(svc_extra)}
+        if consume is not None:
+            files["src/repro/consume.py"] = consume
+        project(tmp_path, files, pyproject=EVENT_PYPROJECT)
+        return lint(tmp_path, rules=["event-schema"])
+
+    def test_conforming_emits_are_clean(self, tmp_path):
+        report = self.lint_events(tmp_path, """\
+
+            def run(emit):
+                emit("begin", total=3, run_id="r1")
+                emit("end", status="ok")
+            """)
+        assert report.findings == []
+
+    def test_unknown_kind_flagged(self, tmp_path):
+        report = self.lint_events(tmp_path, """\
+
+            def run(emit):
+                emit("bogus", total=3)
+            """)
+        assert len(report.findings) == 1
+        assert "unknown event kind 'bogus'" in report.findings[0].message
+
+    def test_missing_required_key_flagged(self, tmp_path):
+        report = self.lint_events(tmp_path, """\
+
+            def run(emit):
+                emit("begin", run_id="r1")
+            """)
+        assert len(report.findings) == 1
+        assert "missing required key(s): total" in \
+            report.findings[0].message
+
+    def test_undeclared_key_flagged(self, tmp_path):
+        report = self.lint_events(tmp_path, """\
+
+            def run(emit):
+                emit("begin", total=1, color="red")
+            """)
+        assert len(report.findings) == 1
+        assert "undeclared key(s): color" in report.findings[0].message
+
+    def test_splat_skips_required_check(self, tmp_path):
+        report = self.lint_events(tmp_path, """\
+
+            def run(emit, info):
+                emit("begin", **info)
+            """)
+        assert report.findings == []
+
+    def test_consumer_unknown_kind_flagged(self, tmp_path):
+        report = self.lint_events(tmp_path, consume="""\
+            def dispatch(event):
+                kind = event.get("event")
+                if kind == "begun":
+                    return 1
+                return 0
+            """)
+        assert len(report.findings) == 1
+        assert "dispatches on event kind 'begun'" in \
+            report.findings[0].message
+
+    def test_exhaustive_consumer_missing_kind_flagged(self, tmp_path):
+        report = self.lint_events(tmp_path, consume="""\
+            def summarize(events):
+                for e in events:
+                    k = e["event"]
+                    if k == "begin":
+                        pass
+            """)
+        assert len(report.findings) == 1
+        assert "missing: end" in report.findings[0].message
+
+    def test_non_literal_table_is_schema_error(self, tmp_path):
+        project(tmp_path, {
+            "src/repro/svc.py": "EVENT_SCHEMA = make_schema()\n"},
+            pyproject=EVENT_PYPROJECT)
+        report = lint(tmp_path, rules=["event-schema"])
+        assert len(report.findings) == 1
+        assert "not a literal dict" in report.findings[0].message
+
+    def test_rule_inert_without_table_in_scan_set(self, tmp_path):
+        project(tmp_path, {"src/repro/consume.py": """\
+            def run(emit):
+                emit("whatever", x=1)
+            """},
+            pyproject="[project]\nname = 'fixture'\n"
+                      "[tool.repro.lint]\n"
+                      "event-schema-table = "
+                      "'src/repro/absent.py::EVENT_SCHEMA'\n"
+                      "event-consumer-paths = ['src/repro/consume.py']\n")
+        assert lint(tmp_path, rules=["event-schema"]).findings == []
+
+
+# ======================================================================
+# boundary-transport
+# ======================================================================
+class TestBoundaryTransport:
+    def test_set_literal_field_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def send(q):
+                q.put(WorkUnit(index=0, attempt=1, point={1, 2}))
+            """})
+        report = lint(tmp_path, rules=["boundary-transport"])
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "field 'point'" in f.message and "a set" in f.message
+
+    def test_local_dataflow_traces_assignment(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def send(q):
+                blob = b"raw"
+                q.put(WorkOutcome(0, 1, "ok", stats_state=blob))
+            """})
+        report = lint(tmp_path, rules=["boundary-transport"])
+        assert len(report.findings) == 1
+        assert "bytes literal" in report.findings[0].message
+        assert "assigned to 'blob' at line 2" in \
+            report.findings[0].message
+
+    def test_path_positional_arg_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            from pathlib import Path
+
+            def send(q):
+                q.put(WorkUnit(Path("x"), 1, {}))
+            """})
+        report = lint(tmp_path, rules=["boundary-transport"])
+        assert len(report.findings) == 1
+        assert "positional arg 0" in report.findings[0].message
+
+    def test_json_safe_twin_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def send(q):
+                q.put(WorkUnit(index=1, attempt=2,
+                               point={"label": "a", "n": 3}))
+            """})
+        assert lint(tmp_path,
+                    rules=["boundary-transport"]).findings == []
+
+    def test_non_transport_calls_ignored(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def build():
+                return Other(frozenset({1}), lambda: 2)
+            """})
+        assert lint(tmp_path,
+                    rules=["boundary-transport"]).findings == []
+
+
+# ======================================================================
+# error-taxonomy
+# ======================================================================
+TAXONOMY_PYPROJECT = """\
+[project]
+name = 'fixture'
+[tool.repro.lint]
+taxonomy-paths = ['src/repro']
+"""
+
+TAXONOMY_ERRORS = """\
+class ExperimentError(Exception):
+    pass
+
+
+class GoodError(ExperimentError, ValueError):
+    pass
+"""
+
+
+class TestErrorTaxonomy:
+    def lint_tax(self, tmp_path, mod):
+        project(tmp_path, {
+            "src/repro/errors.py": TAXONOMY_ERRORS,
+            "src/repro/mod.py": mod,
+        }, pyproject=TAXONOMY_PYPROJECT)
+        return lint(tmp_path, rules=["error-taxonomy"])
+
+    def test_builtin_raise_flagged(self, tmp_path):
+        report = self.lint_tax(tmp_path, """\
+            def bad():
+                raise ValueError("nope")
+            """)
+        assert len(report.findings) == 1
+        assert "builtin ValueError" in report.findings[0].message
+
+    def test_taxonomy_mixin_is_clean(self, tmp_path):
+        report = self.lint_tax(tmp_path, """\
+            from repro.errors import GoodError
+
+            def ok():
+                raise GoodError("fine")
+            """)
+        assert report.findings == []
+
+    def test_foreign_class_flagged(self, tmp_path):
+        report = self.lint_tax(tmp_path, """\
+            class LocalError(Exception):
+                pass
+
+            def bad():
+                raise LocalError("nope")
+            """)
+        assert len(report.findings) == 1
+        assert "not a ExperimentError subclass" in \
+            report.findings[0].message
+
+    def test_factory_followed_one_hop(self, tmp_path):
+        clean = self.lint_tax(tmp_path, """\
+            from repro.errors import GoodError
+
+            def make(msg):
+                return GoodError(msg)
+
+            def use():
+                raise make("x")
+            """)
+        assert clean.findings == []
+
+    def test_factory_returning_builtin_flagged(self, tmp_path):
+        report = self.lint_tax(tmp_path, """\
+            def make(msg):
+                return ValueError(msg)
+
+            def use():
+                raise make("x")
+            """)
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "factory make" in f.message and f.line == 2
+
+    def test_exempt_builtins_pass(self, tmp_path):
+        report = self.lint_tax(tmp_path, """\
+            def todo():
+                raise NotImplementedError("later")
+            """)
+        assert report.findings == []
+
+    def test_swallowed_interrupt_flagged(self, tmp_path):
+        report = self.lint_tax(tmp_path, """\
+            def guard(task):
+                try:
+                    task()
+                except KeyboardInterrupt:
+                    pass
+            """)
+        assert len(report.findings) == 1
+        assert "swallows KeyboardInterrupt" in \
+            report.findings[0].message
+
+    def test_reraising_handler_is_clean(self, tmp_path):
+        report = self.lint_tax(tmp_path, """\
+            def guard(task):
+                try:
+                    task()
+                except KeyboardInterrupt:
+                    task = None
+                    raise
+            """)
+        assert report.findings == []
+
+    def test_rule_inert_without_taxonomy_root(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def bad():
+                raise ValueError("nope")
+            """}, pyproject=TAXONOMY_PYPROJECT)
+        assert lint(tmp_path, rules=["error-taxonomy"]).findings == []
+
+    def test_outside_taxonomy_paths_exempt(self, tmp_path):
+        # Default taxonomy-paths is src/repro/experiments; a raise
+        # elsewhere is out of scope.
+        project(tmp_path, {
+            "src/repro/errors.py": TAXONOMY_ERRORS,
+            "src/repro/mod.py": "def bad():\n"
+                                "    raise ValueError('nope')\n",
+        })
+        assert lint(tmp_path, rules=["error-taxonomy"]).findings == []
+
+
+# ======================================================================
+# crash-ordering
+# ======================================================================
+class TestCrashOrdering:
+    def test_correct_atomic_replace_is_clean(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            import json
+            import os
+            import tempfile
+
+            def write(path, data):
+                # lint: ordered[atomic-replace]
+                fd, tmp = tempfile.mkstemp()
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(data, fh)
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+                # lint: ordered-end
+            """})
+        assert lint(tmp_path, rules=["crash-ordering"]).findings == []
+
+    def test_fsync_after_replace_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            import json
+            import os
+            import tempfile
+
+            def write(path, data):
+                # lint: ordered[atomic-replace]
+                fd, tmp = tempfile.mkstemp()
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(data, fh)
+                os.replace(tmp, path)
+                os.fsync(fd)
+                # lint: ordered-end
+            """})
+        report = lint(tmp_path, rules=["crash-ordering"])
+        assert len(report.findings) == 1
+        assert "fsyncs after replace" in report.findings[0].message
+
+    def test_missing_fsync_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            import json
+            import os
+            import tempfile
+
+            def write(path, data):
+                # lint: ordered[atomic-replace]
+                fd, tmp = tempfile.mkstemp()
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(data, fh)
+                os.replace(tmp, path)
+                # lint: ordered-end
+            """})
+        report = lint(tmp_path, rules=["crash-ordering"])
+        assert len(report.findings) == 1
+        assert "no fsync call" in report.findings[0].message
+
+    def test_persist_before_append_order(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def resolve(cache, journal, key, record):
+                # lint: ordered[persist-before-append]
+                cache.put(key, record)
+                journal.emit(record)
+                # lint: ordered-end
+            """})
+        assert lint(tmp_path, rules=["crash-ordering"]).findings == []
+
+    def test_append_before_persist_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def resolve(cache, journal, key, record):
+                # lint: ordered[persist-before-append]
+                journal.emit(record)
+                cache.put(key, record)
+                # lint: ordered-end
+            """})
+        report = lint(tmp_path, rules=["crash-ordering"])
+        assert len(report.findings) == 1
+        assert "before persisting" in report.findings[0].message
+
+    def test_ordered_path_without_region_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": "X = 1\n"},
+                pyproject="[project]\nname = 'fixture'\n"
+                          "[tool.repro.lint]\n"
+                          "ordered-paths = ['src/repro/mod.py']\n")
+        report = lint(tmp_path, rules=["crash-ordering"])
+        assert len(report.findings) == 1
+        assert "contains no '# lint: ordered[...]'" in \
+            report.findings[0].message
+
+    def test_unknown_template_flagged(self, tmp_path):
+        project(tmp_path, {"src/repro/mod.py": """\
+            def f():
+                # lint: ordered[fancy]
+                pass
+                # lint: ordered-end
+            """})
+        report = lint(tmp_path, rules=["crash-ordering"])
+        assert len(report.findings) == 1
+        assert "unknown ordered template 'fancy'" in \
+            report.findings[0].message
+
+
+# ======================================================================
+# dependency-aware cache (the v1 staleness regression)
+# ======================================================================
+class TestDepAwareCache:
+    def test_cross_file_dependency_edit_reanalyzes(self, tmp_path):
+        """Editing only base.py must re-analyze child.py: the v1 cache
+        keyed on child.py's own bytes and served stale cross-file
+        findings."""
+        narrow_base = textwrap.dedent("""\
+            class NarrowBase(SimComponent):
+                def __init__(self):
+                    self.x = 0
+                def tick(self):
+                    self.x += 1
+                def state_dict(self):
+                    return {"x": self.x}
+                def load_state_dict(self, state):
+                    self.x = state["x"]
+                def reset(self):
+                    self.x = 0
+            """)
+        wide_base = textwrap.dedent("""\
+            class NarrowBase(SimComponent):
+                def __init__(self):
+                    self.x = 0
+                def tick(self):
+                    self.x += 1
+                def state_dict(self):
+                    return dict(vars(self))
+                def load_state_dict(self, state):
+                    self.__dict__.update(state)
+                def reset(self):
+                    for key in vars(self):
+                        setattr(self, key, 0)
+            """)
+        child = """\
+            from repro.base import NarrowBase
+
+            class Orphan(NarrowBase):
+                def __init__(self):
+                    super().__init__()
+                    self.extra = 0
+                def bump(self):
+                    self.extra += 1
+            """
+        project(tmp_path, {"src/repro/base.py": narrow_base,
+                           "src/repro/child.py": child})
+        first = run_lint(root=tmp_path)
+        assert any("Orphan.extra" in f.message for f in first.findings)
+
+        warm = run_lint(root=tmp_path)
+        assert warm.cache_hits == warm.files_scanned == 2
+
+        # Widen only the base snapshot; child.py's bytes are untouched.
+        (tmp_path / "src/repro/base.py").write_text(wide_base)
+        third = run_lint(root=tmp_path)
+        assert third.cache_hits == 0  # dependency fingerprint moved
+        assert third.findings == []
+
+    def test_rule_source_fingerprint_in_cache_key(self, tmp_path,
+                                                  monkeypatch):
+        import repro.lint.engine as engine_mod
+
+        project(tmp_path, CLEAN)
+        run_lint(root=tmp_path)
+        assert run_lint(root=tmp_path).cache_hits == 1
+        # Simulate an edit to a rule module: the memoized fingerprint
+        # changes, so every cached payload must be discarded.
+        monkeypatch.setattr(engine_mod, "_RULE_SOURCES_FP", "edited")
+        assert run_lint(root=tmp_path).cache_hits == 0
+
+
+# ======================================================================
+# baseline + SARIF + --changed
+# ======================================================================
+class TestBaseline:
+    def test_update_then_suppress(self, tmp_path, capsys):
+        project(tmp_path, DIRTY)
+        root = str(tmp_path)
+        assert lint_main(["--root", root, "--no-cache",
+                          "--update-baseline"]) == 0
+        baseline = json.loads(
+            (tmp_path / ".repro-lint-baseline.json").read_text())
+        assert baseline["version"] == 1
+        assert len(baseline["entries"]) == 1
+        entry = baseline["entries"][0]
+        assert set(entry) >= {"fingerprint", "rule", "path", "message",
+                              "justification"}
+        capsys.readouterr()
+
+        assert lint_main(["--root", root, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined finding(s) suppressed" in out
+
+    def test_no_baseline_flag_reports_again(self, tmp_path, capsys):
+        project(tmp_path, DIRTY)
+        root = str(tmp_path)
+        lint_main(["--root", root, "--no-cache", "--update-baseline"])
+        assert lint_main(["--root", root, "--no-cache",
+                          "--no-baseline"]) == 1
+
+    def test_stale_baseline_detected(self, tmp_path, capsys):
+        project(tmp_path, DIRTY)
+        root = str(tmp_path)
+        lint_main(["--root", root, "--no-cache", "--update-baseline"])
+        capsys.readouterr()
+        # Fix the violation: the baseline entry now waives nothing.
+        (tmp_path / "src/repro/mod.py").write_text("X = 1\n")
+        assert lint_main(["--root", root, "--no-cache"]) == 0
+        capsys.readouterr()
+        assert lint_main(["--root", root, "--no-cache",
+                          "--check-baseline"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_baseline_is_line_independent(self, tmp_path, capsys):
+        project(tmp_path, DIRTY)
+        root = str(tmp_path)
+        lint_main(["--root", root, "--no-cache", "--update-baseline"])
+        # Shift the violation down two lines: same rule+path+message,
+        # so the waiver must still apply.
+        mod = tmp_path / "src/repro/mod.py"
+        mod.write_text("# pad\n# pad\n" + mod.read_text())
+        capsys.readouterr()
+        assert lint_main(["--root", root, "--no-cache",
+                          "--check-baseline"]) == 0
+
+
+class TestSarif:
+    def test_sarif_validates_against_2_1_0_shape(self, tmp_path,
+                                                 capsys):
+        """Hand-rolled structural validation of the SARIF 2.1.0 log
+        (the schema validator dependency is deliberately absent)."""
+        project(tmp_path, DIRTY)
+        lint_main(["--root", str(tmp_path), "--no-cache",
+                   "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert isinstance(log["runs"], list) and len(log["runs"]) == 1
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rules = driver["rules"]
+        assert all(set(r) >= {"id", "shortDescription"} for r in rules)
+        assert all(isinstance(r["shortDescription"]["text"], str)
+                   for r in rules)
+        ids = [r["id"] for r in rules]
+        assert len(ids) == len(set(ids))  # deduplicated
+
+        assert run["results"], "fixture must produce findings"
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == "src/repro/mod.py"
+            assert loc["region"]["startLine"] >= 1
+            assert loc["region"]["startColumn"] >= 1
+
+    def test_output_file_keeps_text_summary_on_stdout(self, tmp_path,
+                                                      capsys):
+        project(tmp_path, DIRTY)
+        out_file = tmp_path / "lint.sarif"
+        lint_main(["--root", str(tmp_path), "--no-cache",
+                   "--format", "sarif", "--output", str(out_file)])
+        assert json.loads(out_file.read_text())["version"] == "2.1.0"
+        assert "file(s)" in capsys.readouterr().out
+
+
+class TestChangedOnly:
+    def git(self, tmp_path, *args):
+        import subprocess
+        subprocess.run(["git", *args], cwd=tmp_path, check=True,
+                       capture_output=True)
+
+    def test_changed_narrows_to_edited_files(self, tmp_path, capsys):
+        project(tmp_path, {
+            "src/repro/cpu/a.py": "import time\nt = time.time()\n",
+            "src/repro/cpu/b.py": "Y = 1\n",
+        })
+        self.git(tmp_path, "init", "-q")
+        self.git(tmp_path, "config", "user.email", "t@example.com")
+        self.git(tmp_path, "config", "user.name", "t")
+        self.git(tmp_path, "add", ".")
+        self.git(tmp_path, "commit", "-qm", "seed")
+        root = str(tmp_path)
+
+        # Warm the cache so unchanged files are not re-analyzed.
+        lint_main(["--root", root])
+        capsys.readouterr()
+
+        # Edit only b.py; a.py's pre-existing finding must drop out of
+        # a --changed report while b.py's new one stays.
+        (tmp_path / "src/repro/cpu/b.py").write_text(
+            "import time\nu = time.time()\n")
+        rc = lint_main(["--root", root, "--changed",
+                        "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert [f["path"] for f in payload["findings"]] == \
+            ["src/repro/cpu/b.py"]
+
+    def test_outside_git_falls_back_to_full_report(self, tmp_path,
+                                                   capsys):
+        project(tmp_path, DIRTY)
+        rc = lint_main(["--root", str(tmp_path), "--no-cache",
+                        "--changed", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["findings"]  # full report, not an empty one
+
+
+# ======================================================================
 # The real tree
 # ======================================================================
 class TestRealTree:
@@ -647,8 +1413,11 @@ class TestRealTree:
         assert report.files_scanned > 50
 
     def test_every_rule_registered(self):
-        assert rule_names() == ["determinism", "hot-loop",
-                                "pickle-safety", "snapshot-coverage"]
+        assert rule_names() == [
+            "async-safety", "boundary-transport", "crash-ordering",
+            "determinism", "error-taxonomy", "event-schema",
+            "hot-loop", "pickle-safety", "snapshot-coverage",
+        ]
 
     def test_repo_config_matches_defaults(self):
         """[tool.repro.lint] restates the defaults explicitly — drift

@@ -205,6 +205,84 @@ class TestEvents:
         assert summary["completed"] == 1 and summary["failed"] == 1
         assert "MISSING" in format_events_summary(summary)
 
+    def test_unknown_kind_counted_not_fatal(self):
+        # A v3 writer's stream: the extra kind must be tallied for
+        # visibility, never crash the v2 reader or skew accounting.
+        summary = summarize_events([
+            {"event": "begin", "total": 1},
+            {"event": "speculative", "index": 0, "depth": 4},
+            {"event": "completed", "index": 0, "source": "sim"},
+            {"event": "speculative", "index": 0, "depth": 5},
+            {"event": "end", "status": "ok"},
+        ])
+        assert summary["unknown"] == {"speculative": 2}
+        assert summary["completed"] == 1
+        assert summary["missing"] == [] and summary["duplicates"] == []
+        text = format_events_summary(summary)
+        assert "unknown:   2 speculative" in text
+        assert "ignored" in text
+
+    def test_unknown_kind_does_not_fail_check(self, tmp_path, capsys):
+        from repro.cli import main
+        stream = tmp_path / "v3.jsonl"
+        with JsonlEventLog(stream) as log:
+            log({"event": "begin", "total": 1})
+            log({"event": "speculative", "index": 0})
+            log({"event": "completed", "index": 0, "source": "sim"})
+            log({"event": "end", "status": "ok"})
+        assert main(["manifest", "events", str(stream),
+                     "--check"]) == 0
+        assert "unknown:" in capsys.readouterr().out
+
+    def test_missing_optional_keys_tolerated(self):
+        # Optional envelope/schema keys absent everywhere: summarize
+        # must fall back, not KeyError.
+        summary = summarize_events([
+            {"event": "begin", "total": 2},        # no run_id/segment
+            {"event": "completed", "index": 0},    # no source/seconds
+            {"event": "retried", "index": 1},      # no kind
+            {"event": "failed", "index": 1},       # no label/message
+            {"event": "end", "status": "failed"},  # no seconds
+        ])
+        assert summary["sources"] == {"sim": 1}
+        assert summary["retry_kinds"] == {"transient": 1}
+        assert summary["failures"] == [
+            {"index": 1, "label": None, "kind": None, "message": None}]
+        assert summary["seconds"] is None
+        # Renders without a wall-clock line or a crash.
+        assert "wall:" not in format_events_summary(summary)
+
+    def test_empty_stream_summarizes(self, tmp_path):
+        stream = tmp_path / "empty.jsonl"
+        stream.write_text("")
+        events = read_events(stream)
+        assert events == []
+        summary = summarize_events(events)
+        assert summary["total"] == 0
+        assert summary["missing"] == [] and summary["status"] is None
+        assert "points:    0" in format_events_summary(summary)
+
+    def test_read_run_events_joins_adversarial_segments(self, tmp_path):
+        from repro.experiments.journal import read_run_events
+        # Segment 1: duplicate seq (writer re-append) + torn tail.
+        (tmp_path / "events-0001.jsonl").write_text(
+            '{"seq": 1, "event": "begin", "total": 2}\n'
+            '{"seq": 2, "event": "completed", "index": 0}\n'
+            '{"seq": 2, "event": "completed", "index": 0}\n'
+            '{"seq": 3, "event": "inter')
+        # Segment 2: the resume attempt, with its own seq space.
+        (tmp_path / "events-0002.jsonl").write_text(
+            '{"seq": 1, "event": "begin", "total": 2}\n'
+            '{"seq": 2, "event": "completed", "index": 1}\n'
+            '{"seq": 3, "event": "end", "status": "ok"}\n')
+        events = read_run_events(tmp_path)
+        assert [e["event"] for e in events] == [
+            "begin", "completed", "begin", "completed", "end"]
+        summary = summarize_events(events)
+        assert summary["segments"] == 2
+        assert summary["completed"] == 2
+        assert summary["missing"] == [] and summary["duplicates"] == []
+
     def test_sink_exceptions_never_break_the_sweep(self, cache_dir):
         def exploding_sink(event):
             raise RuntimeError("sink down")
